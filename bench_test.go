@@ -1,0 +1,263 @@
+package waggle
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// The paper has no measured tables — it is a brief announcement with
+// six illustrative figures and asymptotic claims. Each benchmark below
+// regenerates one figure-scenario (F1-F6) or quantitative claim (C1-C8)
+// from DESIGN.md's experiment index; EXPERIMENTS.md records the
+// resulting shapes next to the paper's statements.
+
+func benchPositions(n int, seed int64) []Point {
+	rng := rand.New(rand.NewSource(seed))
+	pts := make([]Point, 0, n)
+	for len(pts) < n {
+		p := Point{X: rng.Float64() * float64(n) * 12, Y: rng.Float64() * float64(n) * 12}
+		ok := true
+		for _, q := range pts {
+			dx, dy := p.X-q.X, p.Y-q.Y
+			if dx*dx+dy*dy < 64 {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			pts = append(pts, p)
+		}
+	}
+	return pts
+}
+
+func deliverOne(b *testing.B, pts []Point, payload []byte, opts ...Option) int {
+	b.Helper()
+	s, err := NewSwarm(pts, opts...)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := s.Send(0, s.N()-1, payload); err != nil {
+		b.Fatal(err)
+	}
+	msgs, steps, err := s.RunUntilDelivered(1, 50_000_000)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if !bytes.Equal(msgs[0].Payload, payload) {
+		b.Fatal("payload corrupted")
+	}
+	return steps
+}
+
+// BenchmarkFig1Sync2 is experiment F1: the two-robot synchronous coding
+// of Figure 1.
+func BenchmarkFig1Sync2(b *testing.B) {
+	pts := []Point{{X: 0, Y: 0}, {X: 10, Y: 0}}
+	payload := []byte("FIG1")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		steps := deliverOne(b, pts, payload, WithSynchronous(), WithSeed(1))
+		b.ReportMetric(float64(steps), "instants/msg")
+	}
+}
+
+// BenchmarkFig2SyncIDs is experiment F2: Figure 2's 12 identified
+// robots; robot 0 sends across the swarm through sliced granulars.
+func BenchmarkFig2SyncIDs(b *testing.B) {
+	pts := benchPositions(12, 2)
+	payload := []byte("FIG2")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		steps := deliverOne(b, pts, payload, WithSynchronous(), WithIdentifiedRobots(), WithSeed(2))
+		b.ReportMetric(float64(steps), "instants/msg")
+	}
+}
+
+// BenchmarkFig3SymmetryCheck is experiment F3: certifying a Figure-3
+// configuration (symmetry detection is the naming-impossibility test).
+func BenchmarkFig3SymmetryCheck(b *testing.B) {
+	// The check itself lives in internal/naming; here we measure the
+	// public-path consequence: an anonymous chirality-only swarm still
+	// communicates on a symmetric configuration via relative naming.
+	pts := []Point{{X: 3, Y: 1}, {X: 1, Y: 4}, {X: -2, Y: 2}, {X: -3, Y: -1}, {X: -1, Y: -4}, {X: 2, Y: -2}}
+	for i := range pts {
+		pts[i].X *= 8
+		pts[i].Y *= 8
+	}
+	payload := []byte("F3")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		steps := deliverOne(b, pts, payload, WithSynchronous(), WithSeed(3))
+		b.ReportMetric(float64(steps), "instants/msg")
+	}
+}
+
+// BenchmarkFig4SECNaming is experiment F4: anonymous robots, chirality
+// only — addressing via the smallest-enclosing-circle relative naming.
+func BenchmarkFig4SECNaming(b *testing.B) {
+	pts := benchPositions(12, 4)
+	payload := []byte("FIG4")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		steps := deliverOne(b, pts, payload, WithSynchronous(), WithSeed(4))
+		b.ReportMetric(float64(steps), "instants/msg")
+	}
+}
+
+// BenchmarkFig5Async2 is experiment F5: the two-robot asynchronous
+// protocol with implicit acknowledgements.
+func BenchmarkFig5Async2(b *testing.B) {
+	pts := []Point{{X: 0, Y: 0}, {X: 10, Y: 0}}
+	payload := []byte("FIG5")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		steps := deliverOne(b, pts, payload, WithSeed(5))
+		b.ReportMetric(float64(steps), "instants/msg")
+	}
+}
+
+// BenchmarkFig6AsyncN is experiment F6: Protocol Asyncn with the idle
+// slice κ, across swarm sizes.
+func BenchmarkFig6AsyncN(b *testing.B) {
+	for _, n := range []int{4, 8, 16} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			pts := benchPositions(n, 6)
+			payload := []byte("F6")
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				steps := deliverOne(b, pts, payload, WithSeed(6))
+				b.ReportMetric(float64(steps), "instants/msg")
+			}
+		})
+	}
+}
+
+// BenchmarkClaimLevelCoding is experiment C3: k amplitude levels carry
+// log2(k) bits per excursion (§3.1 remark).
+func BenchmarkClaimLevelCoding(b *testing.B) {
+	pts := []Point{{X: 0, Y: 0}, {X: 10, Y: 0}}
+	payload := bytes.Repeat([]byte{0xA7}, 16)
+	for _, k := range []int{2, 16, 256} {
+		b.Run(fmt.Sprintf("levels=%d", k), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				steps := deliverOne(b, pts, payload, WithSynchronous(), WithLevels(k), WithSeed(7))
+				b.ReportMetric(float64(steps), "instants/msg")
+			}
+		})
+	}
+}
+
+// BenchmarkClaimSliceTradeoff is experiment C4: §5's bounded-slice
+// variant trades granular slices for prelude excursions.
+func BenchmarkClaimSliceTradeoff(b *testing.B) {
+	pts := benchPositions(16, 8)
+	payload := []byte{0x5C}
+	variants := map[string][]Option{
+		"direct":    nil,
+		"bounded-2": {WithBoundedSlices(2)},
+		"bounded-4": {WithBoundedSlices(4)},
+	}
+	for name, extra := range variants {
+		b.Run(name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				steps := deliverOne(b, pts, payload, append(extra, WithSeed(8))...)
+				b.ReportMetric(float64(steps), "instants/msg")
+			}
+		})
+	}
+}
+
+// BenchmarkClaimDrift is experiment C6: the unbounded-drift base
+// protocol versus the bounded alternating variant.
+func BenchmarkClaimDrift(b *testing.B) {
+	pts := []Point{{X: 0, Y: 0}, {X: 10, Y: 0}}
+	payload := []byte("DRIFT")
+	for name, extra := range map[string][]Option{
+		"away":      nil,
+		"alternate": {WithAlternatingDrift()},
+	} {
+		b.Run(name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				steps := deliverOne(b, pts, payload, append(extra, WithSeed(9))...)
+				b.ReportMetric(float64(steps), "instants/msg")
+			}
+		})
+	}
+}
+
+// BenchmarkClaimBackup is experiment C8: wireless backup under total
+// jamming — all traffic falls over to movement signalling.
+func BenchmarkClaimBackup(b *testing.B) {
+	pts := benchPositions(4, 10)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s, err := NewSwarm(pts, WithSynchronous(), WithSeed(10))
+		if err != nil {
+			b.Fatal(err)
+		}
+		radio := NewRadio(s.N(), 1)
+		radio.SetJamming(1) // fully jammed
+		bm, err := NewBackupMessenger(radio, s)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := bm.Send(0, 2, []byte("J")); err != nil {
+			b.Fatal(err)
+		}
+		if _, _, err := s.RunUntilDelivered(1, 50_000_000); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkClaimLatencyScaling is the Latency sweep under testing.B:
+// synchronous delivery cost is independent of n; asynchronous cost
+// grows with n (every bit waits for 2 observed changes of every robot).
+func BenchmarkClaimLatencyScaling(b *testing.B) {
+	for _, n := range []int{4, 16, 64} {
+		pts := benchPositions(n, int64(n))
+		b.Run(fmt.Sprintf("sync/n=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				steps := deliverOne(b, pts, []byte{1}, WithSynchronous(), WithSeed(int64(n)))
+				b.ReportMetric(float64(steps), "instants/msg")
+			}
+		})
+		b.Run(fmt.Sprintf("async/n=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				steps := deliverOne(b, pts, []byte{1}, WithSeed(int64(n)))
+				b.ReportMetric(float64(steps), "instants/msg")
+			}
+		})
+	}
+}
+
+// BenchmarkSimulatorStep isolates the simulator's per-instant cost, the
+// substrate every experiment pays.
+func BenchmarkSimulatorStep(b *testing.B) {
+	for _, n := range []int{2, 16, 128} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			s, err := NewSwarm(benchPositions(n, 1), WithSeed(1))
+			if err != nil {
+				b.Fatal(err)
+			}
+			// Warm up: the first instant runs the robots' preprocessing
+			// (Voronoi, SEC, naming), which is not per-step cost.
+			if err := s.Step(); err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := s.Step(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,71 @@
+// Command waggle-figures regenerates the data and diagrams behind the
+// paper's six figures (experiments F1-F6 in DESIGN.md).
+//
+// Usage:
+//
+//	waggle-figures                 # all six figures as ASCII + tables
+//	waggle-figures -fig 4          # one figure
+//	waggle-figures -svg -out dir   # write figures 2-6 as SVG files
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"waggle/internal/figures"
+)
+
+func main() {
+	fig := flag.Int("fig", 0, "figure number 1-6 (0 = all)")
+	svg := flag.Bool("svg", false, "emit SVG (figures 2-6) instead of ASCII")
+	out := flag.String("out", ".", "output directory for -svg")
+	flag.Parse()
+	if err := run(*fig, *svg, *out); err != nil {
+		fmt.Fprintln(os.Stderr, "waggle-figures:", err)
+		os.Exit(1)
+	}
+}
+
+func run(fig int, svg bool, outDir string) error {
+	if svg {
+		return runSVG(fig, outDir)
+	}
+	if fig != 0 {
+		out, err := figures.Generate(fig)
+		if err != nil {
+			return err
+		}
+		fmt.Print(out)
+		return nil
+	}
+	for f := 1; f <= 6; f++ {
+		out, err := figures.Generate(f)
+		if err != nil {
+			return err
+		}
+		fmt.Print(out)
+		fmt.Println()
+	}
+	return nil
+}
+
+func runSVG(fig int, outDir string) error {
+	figs := []int{2, 3, 4, 5, 6}
+	if fig != 0 {
+		figs = []int{fig}
+	}
+	for _, f := range figs {
+		doc, err := figures.GenerateSVG(f)
+		if err != nil {
+			return err
+		}
+		path := filepath.Join(outDir, fmt.Sprintf("figure%d.svg", f))
+		if err := os.WriteFile(path, []byte(doc), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", path)
+	}
+	return nil
+}

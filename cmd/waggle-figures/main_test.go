@@ -1,0 +1,43 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strconv"
+	"testing"
+)
+
+func TestRunSingleFigure(t *testing.T) {
+	for fig := 1; fig <= 6; fig++ {
+		if err := run(fig, false, "."); err != nil {
+			t.Errorf("figure %d: %v", fig, err)
+		}
+	}
+}
+
+func TestRunAllFigures(t *testing.T) {
+	if err := run(0, false, "."); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRunSVG(t *testing.T) {
+	dir := t.TempDir()
+	if err := run(0, true, dir); err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range []int{2, 3, 4, 5, 6} {
+		if _, err := os.Stat(filepath.Join(dir, "figure"+strconv.Itoa(f)+".svg")); err != nil {
+			t.Errorf("figure %d svg missing: %v", f, err)
+		}
+	}
+	if err := run(1, true, dir); err == nil {
+		t.Error("figure 1 has no SVG form and should error")
+	}
+}
+
+func TestRunUnknownFigure(t *testing.T) {
+	if err := run(9, false, "."); err == nil {
+		t.Error("figure 9 accepted")
+	}
+}

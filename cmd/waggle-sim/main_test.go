@@ -1,0 +1,58 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunScenarios(t *testing.T) {
+	tests := []struct {
+		name string
+		f    func() error
+	}{
+		{"two sync", func() error {
+			return run(2, true, false, false, 1, 0, 1, "HI", 0, 0, "random", 100_000, true, "")
+		}},
+		{"n async sec", func() error {
+			return run(5, false, false, false, 2, 0, 3, "X", 0, 0, "random", 5_000_000, true, "")
+		}},
+		{"ids round robin", func() error {
+			return run(4, false, true, false, 3, 1, 2, "Y", 0, 0, "roundrobin", 5_000_000, false, "")
+		}},
+		{"bounded starver", func() error {
+			return run(4, false, false, true, 4, 0, 2, "Z", 0, 2, "starver", 10_000_000, true, "")
+		}},
+		{"levels", func() error {
+			return run(2, true, false, false, 5, 0, 1, "L", 16, 0, "random", 100_000, true, "")
+		}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if err := tt.f(); err != nil {
+				t.Error(err)
+			}
+		})
+	}
+}
+
+func TestRunWithTrace(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "trace.csv")
+	if err := run(2, true, false, false, 1, 0, 1, "T", 0, 0, "random", 100_000, true, path); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(data), "time,robot,x,y\n") {
+		t.Errorf("trace header wrong: %q", string(data[:20]))
+	}
+}
+
+func TestRunBadScheduler(t *testing.T) {
+	if err := run(2, true, false, false, 1, 0, 1, "HI", 0, 0, "bogus", 1000, true, ""); err == nil {
+		t.Error("bad scheduler accepted")
+	}
+}

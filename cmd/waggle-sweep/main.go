@@ -1,0 +1,49 @@
+// Command waggle-sweep runs the quantitative experiments of DESIGN.md §4
+// (C3-C8 plus scaling sweeps) and prints their tables — the data
+// recorded in EXPERIMENTS.md.
+//
+// Usage:
+//
+//	waggle-sweep                 # all experiments
+//	waggle-sweep -exp levels     # one experiment
+//	waggle-sweep -exp drift -csv # machine-readable output
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"waggle/internal/sweep"
+)
+
+func main() {
+	exp := flag.String("exp", "", "experiment name (empty = all): levels|slices|drift|silence|backup|latency|msgsize")
+	csv := flag.Bool("csv", false, "emit CSV instead of an aligned table")
+	flag.Parse()
+	if err := run(*exp, *csv); err != nil {
+		fmt.Fprintln(os.Stderr, "waggle-sweep:", err)
+		os.Exit(1)
+	}
+}
+
+func run(exp string, csv bool) error {
+	names := sweep.Names()
+	if exp != "" {
+		names = []string{exp}
+	}
+	for _, name := range names {
+		tbl, err := sweep.Run(name)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("== %s ==\n", name)
+		if csv {
+			fmt.Print(tbl.CSV())
+		} else {
+			fmt.Print(tbl.String())
+		}
+		fmt.Println()
+	}
+	return nil
+}

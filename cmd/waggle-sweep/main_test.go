@@ -1,0 +1,18 @@
+package main
+
+import "testing"
+
+func TestRunOneExperiment(t *testing.T) {
+	if err := run("silence", false); err != nil {
+		t.Error(err)
+	}
+	if err := run("levels", true); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	if err := run("nope", false); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+}

@@ -1,0 +1,93 @@
+package waggle_test
+
+import (
+	"fmt"
+
+	"waggle"
+)
+
+// Broadcasting reaches every robot; bystanders can also be read through
+// Overheard, because every robot decodes all movement traffic.
+func ExampleSwarm_Broadcast() {
+	swarm, err := waggle.NewSwarm(
+		[]waggle.Point{{X: 0, Y: 0}, {X: 20, Y: 0}, {X: 20, Y: 20}, {X: 0, Y: 20}},
+		waggle.WithSynchronous(),
+		waggle.WithSeed(2),
+	)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	if err := swarm.Broadcast(0, []byte("RALLY")); err != nil {
+		fmt.Println(err)
+		return
+	}
+	msgs, _, err := swarm.RunUntilQuiet(1_000_000)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("%d robots received the broadcast\n", len(msgs))
+	// Output: 3 robots received the broadcast
+}
+
+// The amplitude-level extension (§3.1) packs several bits into one
+// movement when the robots know each other's maximum step.
+func ExampleWithLevels() {
+	run := func(levels int) int {
+		swarm, err := waggle.NewSwarm(
+			[]waggle.Point{{X: 0, Y: 0}, {X: 10, Y: 0}},
+			waggle.WithSynchronous(),
+			waggle.WithLevels(levels),
+			waggle.WithSeed(1),
+		)
+		if err != nil {
+			return -1
+		}
+		if err := swarm.Send(0, 1, []byte("12345678")); err != nil {
+			return -1
+		}
+		_, steps, err := swarm.RunUntilDelivered(1, 100_000)
+		if err != nil {
+			return -1
+		}
+		return steps
+	}
+	fmt.Printf("binary coding: %d instants\n", run(2))
+	fmt.Printf("16-level coding: %d instants\n", run(16))
+	// Output:
+	// binary coding: 160 instants
+	// 16-level coding: 40 instants
+}
+
+// Movement signalling backs up a failed radio (§1).
+func ExampleBackupMessenger() {
+	swarm, err := waggle.NewSwarm(
+		[]waggle.Point{{X: 0, Y: 0}, {X: 15, Y: 0}, {X: 7, Y: 14}},
+		waggle.WithSynchronous(),
+		waggle.WithSeed(3),
+	)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	radio := waggle.NewRadio(swarm.N(), 1)
+	messenger, err := waggle.NewBackupMessenger(radio, swarm)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	radio.Break(0) // robot 0's transmitter dies
+	if err := messenger.Send(0, 2, []byte("SOS")); err != nil {
+		fmt.Println(err)
+		return
+	}
+	msgs, _, err := swarm.RunUntilDelivered(1, 1_000_000)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	viaRadio, viaMovement := messenger.Stats()
+	fmt.Printf("%q delivered (radio: %d, movement: %d)\n", msgs[0].Payload, viaRadio, viaMovement)
+	// Output: "SOS" delivered (radio: 0, movement: 1)
+}

@@ -1,0 +1,62 @@
+// Backup: the paper's fault-tolerance application (§1): robots carry
+// wireless devices, but devices fail and environments jam. Movement
+// signalling is the channel of last resort — slow, but it cannot be
+// jammed and needs no hardware beyond locomotion and vision.
+//
+//	go run ./examples/backup
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"waggle"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	positions := []waggle.Point{
+		{X: 0, Y: 0}, {X: 30, Y: 0}, {X: 30, Y: 30}, {X: 0, Y: 30}, {X: 15, Y: 60},
+	}
+	swarm, err := waggle.NewSwarm(positions, waggle.WithSynchronous(), waggle.WithSeed(3))
+	if err != nil {
+		return err
+	}
+	radio := waggle.NewRadio(swarm.N(), 1)
+	messenger, err := waggle.NewBackupMessenger(radio, swarm)
+	if err != nil {
+		return err
+	}
+
+	// Phase 1: the radio works; messages are instantaneous.
+	if err := messenger.Send(0, 4, []byte("status: all clear")); err != nil {
+		return err
+	}
+	for _, m := range radio.Receive(4) {
+		fmt.Printf("radio:    robot %d -> robot %d: %q\n", m.From, m.To, m.Payload)
+	}
+
+	// Phase 2: robot 0's transmitter dies mid-mission.
+	radio.Break(0)
+	fmt.Println("-- robot 0's transmitter fails --")
+	if err := messenger.Send(0, 4, []byte("status: radio down, switching to movement")); err != nil {
+		return err
+	}
+	msgs, steps, err := swarm.RunUntilDelivered(1, 1_000_000)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("movement: robot %d -> robot %d in %d instants: %q\n",
+		msgs[0].From, msgs[0].To, steps, msgs[0].Payload)
+
+	viaRadio, viaMovement := messenger.Stats()
+	sent, delivered, lost := radio.Stats()
+	fmt.Printf("channels: %d via radio, %d via movement\n", viaRadio, viaMovement)
+	fmt.Printf("radio:    %d sent, %d delivered, %d lost\n", sent, delivered, lost)
+	return nil
+}

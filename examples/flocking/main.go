@@ -1,0 +1,58 @@
+// Flocking: the §5 remark — a swarm can flock in an agreed direction
+// while chatting, because every robot superimposes the agreed flock
+// displacement on its communication movements and relative positions
+// are untouched.
+//
+//	go run ./examples/flocking
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"waggle"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	positions := []waggle.Point{
+		{X: 0, Y: 0}, {X: 25, Y: 5}, {X: 10, Y: 25}, {X: 35, Y: 30}, {X: 50, Y: 10},
+	}
+	swarm, err := waggle.NewSwarm(positions,
+		waggle.WithSynchronous(),
+		waggle.WithFlocking(0.4, 0.3), // agreed world drift per instant
+		waggle.WithSeed(5),
+		waggle.WithTrace(),
+	)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("swarm of %d robots flocking north-east at (0.4, 0.3) per instant\n", swarm.N())
+
+	if err := swarm.Send(0, 4, []byte("keep formation")); err != nil {
+		return err
+	}
+	if err := swarm.Send(3, 1, []byte("copy that")); err != nil {
+		return err
+	}
+	msgs, steps, err := swarm.RunUntilDelivered(2, 1_000_000)
+	if err != nil {
+		return err
+	}
+	for _, m := range msgs {
+		fmt.Printf("robot %d -> robot %d: %q\n", m.From, m.To, m.Payload)
+	}
+
+	fmt.Printf("after %d instants the swarm has moved:\n", steps)
+	final := swarm.Positions()
+	for i, p := range final {
+		fmt.Printf("  robot %d: (%.1f, %.1f) -> (%.1f, %.1f)\n",
+			i, positions[i].X, positions[i].Y, p.X, p.Y)
+	}
+	return nil
+}

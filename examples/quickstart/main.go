@@ -1,0 +1,53 @@
+// Quickstart: two deaf and dumb robots exchange greetings purely by
+// moving (the §3.1 protocol, Figure 1). Run with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"waggle"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	// Two robots ten metres apart. They observe each other's positions
+	// but have no radio, no speech, no lights — only movement.
+	swarm, err := waggle.NewSwarm(
+		[]waggle.Point{{X: 0, Y: 0}, {X: 10, Y: 0}},
+		waggle.WithSynchronous(),
+		waggle.WithSeed(1),
+		waggle.WithTrace(),
+	)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("protocol: %v\n", swarm.Protocol())
+
+	// Full duplex: both robots transmit at once.
+	if err := swarm.Send(0, 1, []byte("HELLO")); err != nil {
+		return err
+	}
+	if err := swarm.Send(1, 0, []byte("WORLD")); err != nil {
+		return err
+	}
+
+	msgs, steps, err := swarm.RunUntilDelivered(2, 100_000)
+	if err != nil {
+		return err
+	}
+	for _, m := range msgs {
+		fmt.Printf("robot %d -> robot %d: %q\n", m.From, m.To, m.Payload)
+	}
+	fmt.Printf("delivered in %d time instants\n", steps)
+	fmt.Printf("robot 0 covered %.2f distance units, robot 1 %.2f\n",
+		swarm.TotalDistance(0), swarm.TotalDistance(1))
+	return nil
+}

@@ -1,0 +1,3 @@
+module waggle
+
+go 1.22

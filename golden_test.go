@@ -1,0 +1,124 @@
+package waggle
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// TestGoldenRun pins a full end-to-end execution: same options, same
+// seed must yield bit-identical deliveries, step counts, and final
+// positions across releases. If an intentional protocol change alters
+// the trajectory, update the constants — consciously.
+func TestGoldenRun(t *testing.T) {
+	s, err := NewSwarm(
+		[]Point{{X: 0, Y: 0}, {X: 24, Y: 6}, {X: 10, Y: 28}, {X: 30, Y: 30}},
+		WithSeed(12345),
+		WithTrace(),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Send(0, 3, []byte("GOLD")); err != nil {
+		t.Fatal(err)
+	}
+	msgs, steps, err := s.RunUntilDelivered(1, 5_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(msgs[0].Payload, []byte("GOLD")) {
+		t.Fatalf("payload %q", msgs[0].Payload)
+	}
+	const wantSteps = 1226
+	if steps != wantSteps {
+		t.Errorf("steps = %d, want %d (golden; update only for intentional protocol changes)", steps, wantSteps)
+	}
+	// Re-run: must reproduce exactly.
+	s2, err := NewSwarm(
+		[]Point{{X: 0, Y: 0}, {X: 24, Y: 6}, {X: 10, Y: 28}, {X: 30, Y: 30}},
+		WithSeed(12345),
+		WithTrace(),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s2.Send(0, 3, []byte("GOLD")); err != nil {
+		t.Fatal(err)
+	}
+	_, steps2, err := s2.RunUntilDelivered(1, 5_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if steps2 != steps {
+		t.Errorf("re-run diverged: %d vs %d steps", steps2, steps)
+	}
+	p1, p2 := s.Positions(), s2.Positions()
+	for i := range p1 {
+		if p1[i] != p2[i] {
+			t.Errorf("robot %d final position diverged: %v vs %v", i, p1[i], p2[i])
+		}
+	}
+}
+
+// TestRandomizedEndToEnd is the facade-level property test: random
+// payloads, random swarm shapes, random capability sets, random
+// schedulers — every message must arrive intact with correct metadata.
+func TestRandomizedEndToEnd(t *testing.T) {
+	rng := rand.New(rand.NewSource(2024))
+	for trial := 0; trial < 12; trial++ {
+		trial := trial
+		t.Run(fmt.Sprintf("trial=%d", trial), func(t *testing.T) {
+			n := 2 + rng.Intn(5)
+			positions := make([]Point, 0, n)
+			for len(positions) < n {
+				p := Point{X: rng.Float64() * 100, Y: rng.Float64() * 100}
+				ok := true
+				for _, q := range positions {
+					dx, dy := p.X-q.X, p.Y-q.Y
+					if dx*dx+dy*dy < 100 {
+						ok = false
+						break
+					}
+				}
+				if ok {
+					positions = append(positions, p)
+				}
+			}
+			opts := []Option{WithSeed(rng.Int63())}
+			if rng.Intn(2) == 0 {
+				opts = append(opts, WithSynchronous())
+			}
+			switch rng.Intn(3) {
+			case 0:
+				opts = append(opts, WithIdentifiedRobots())
+			case 1:
+				opts = append(opts, WithSenseOfDirection())
+			}
+			if rng.Intn(2) == 0 {
+				opts = append(opts, WithLeftHandedFrames())
+			}
+			s, err := NewSwarm(positions, opts...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			payload := make([]byte, 1+rng.Intn(5))
+			rng.Read(payload)
+			from := rng.Intn(n)
+			to := rng.Intn(n - 1)
+			if to >= from {
+				to++
+			}
+			if err := s.Send(from, to, payload); err != nil {
+				t.Fatal(err)
+			}
+			msgs, _, err := s.RunUntilDelivered(1, 10_000_000)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if msgs[0].From != from || msgs[0].To != to || !bytes.Equal(msgs[0].Payload, payload) {
+				t.Errorf("trial %d: got %+v, want %d->%d %v", trial, msgs[0], from, to, payload)
+			}
+		})
+	}
+}

@@ -1,0 +1,281 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"testing"
+
+	"waggle/internal/geom"
+	"waggle/internal/protocol"
+	"waggle/internal/sim"
+)
+
+func buildNetwork(t *testing.T, n int, async bool, seed int64) *Network {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	positions := make([]geom.Point, 0, n)
+	for len(positions) < n {
+		p := geom.Pt(rng.Float64()*100, rng.Float64()*100)
+		ok := true
+		for _, q := range positions {
+			if p.Dist(q) < 6 {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			positions = append(positions, p)
+		}
+	}
+	var (
+		behaviors []sim.Behavior
+		endpoints []*protocol.Endpoint
+		err       error
+		scheduler sim.Scheduler = sim.Synchronous{}
+	)
+	if async {
+		behaviors, endpoints, err = protocol.NewAsyncN(n, protocol.AsyncNConfig{})
+		scheduler = sim.FirstSync{Inner: sim.NewRandomFair(seed)}
+	} else {
+		behaviors, endpoints, err = protocol.NewSyncN(n, protocol.SyncNConfig{})
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	robots := make([]*sim.Robot, n)
+	for i := range robots {
+		robots[i] = &sim.Robot{Frame: geom.WorldFrame(), Sigma: 1e9, Behavior: behaviors[i]}
+	}
+	world, err := sim.NewWorld(sim.Config{Positions: positions, Robots: robots})
+	if err != nil {
+		t.Fatal(err)
+	}
+	net, err := NewNetwork(world, scheduler, endpoints)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return net
+}
+
+func TestNetworkValidation(t *testing.T) {
+	if _, err := NewNetwork(nil, sim.Synchronous{}, nil); err == nil {
+		t.Error("nil world accepted")
+	}
+	net := buildNetwork(t, 3, false, 1)
+	if _, err := NewNetwork(net.World(), nil, nil); err == nil {
+		t.Error("nil scheduler accepted")
+	}
+	if _, err := NewNetwork(net.World(), sim.Synchronous{}, nil); err == nil {
+		t.Error("endpoint count mismatch accepted")
+	}
+	if err := net.Send(-1, 0, []byte("x")); err == nil {
+		t.Error("negative sender accepted")
+	}
+	if err := net.Broadcast(9, []byte("x")); err == nil {
+		t.Error("out-of-range broadcaster accepted")
+	}
+}
+
+func TestNetworkRunUntilDelivered(t *testing.T) {
+	for _, async := range []bool{false, true} {
+		net := buildNetwork(t, 4, async, 2)
+		want := []byte("NETWORK")
+		if err := net.Send(0, 2, want); err != nil {
+			t.Fatal(err)
+		}
+		got, steps, err := net.RunUntilDelivered(1, 1_000_000)
+		if err != nil {
+			t.Fatalf("async=%v: %v", async, err)
+		}
+		if steps == 0 {
+			t.Errorf("async=%v: delivered in zero steps", async)
+		}
+		if got[0].From != 0 || got[0].To != 2 || !bytes.Equal(got[0].Payload, want) {
+			t.Errorf("async=%v: received %+v", async, got[0])
+		}
+	}
+}
+
+func TestNetworkRunUntilQuiet(t *testing.T) {
+	net := buildNetwork(t, 3, false, 3)
+	if err := net.Send(0, 1, []byte("A")); err != nil {
+		t.Fatal(err)
+	}
+	if err := net.Send(1, 2, []byte("B")); err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := net.RunUntilQuiet(1_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("delivered %d messages, want 2", len(got))
+	}
+	if total := len(net.Delivered()); total != 2 {
+		t.Errorf("Delivered() = %d entries, want 2", total)
+	}
+}
+
+func TestNetworkDeliveryTimeout(t *testing.T) {
+	net := buildNetwork(t, 3, false, 4)
+	if err := net.Send(0, 1, []byte("SLOW")); err != nil {
+		t.Fatal(err)
+	}
+	_, _, err := net.RunUntilDelivered(1, 3) // hopeless budget
+	if !errors.Is(err, ErrNotDelivered) {
+		t.Errorf("err = %v, want ErrNotDelivered", err)
+	}
+}
+
+func TestRadioDeliveryAndFaults(t *testing.T) {
+	r := NewRadio(3, 1)
+	if err := r.Send(0, 1, []byte("hi")); err != nil {
+		t.Fatal(err)
+	}
+	got := r.Receive(1)
+	if len(got) != 1 || !bytes.Equal(got[0].Payload, []byte("hi")) {
+		t.Fatalf("radio inbox %v", got)
+	}
+	if len(r.Receive(1)) != 0 {
+		t.Error("Receive did not drain")
+	}
+	r.Break(0)
+	if !r.Broken(0) {
+		t.Error("Break not recorded")
+	}
+	if err := r.Send(0, 1, []byte("lost")); !errors.Is(err, ErrRadioFailed) {
+		t.Errorf("broken radio err = %v, want ErrRadioFailed", err)
+	}
+	r.Repair(0)
+	if err := r.Send(0, 1, []byte("back")); err != nil {
+		t.Errorf("repaired radio failed: %v", err)
+	}
+	sent, delivered, lost := r.Stats()
+	if sent != 3 || delivered != 2 || lost != 1 {
+		t.Errorf("stats = (%d,%d,%d), want (3,2,1)", sent, delivered, lost)
+	}
+	if err := r.Send(0, 9, nil); err == nil {
+		t.Error("out-of-range recipient accepted")
+	}
+}
+
+func TestRadioJamming(t *testing.T) {
+	r := NewRadio(2, 7)
+	r.JamProb = 0.5
+	losses := 0
+	for i := 0; i < 1000; i++ {
+		if err := r.Send(0, 1, []byte{1}); errors.Is(err, ErrRadioFailed) {
+			losses++
+		}
+	}
+	if losses < 400 || losses > 600 {
+		t.Errorf("jamming losses = %d of 1000 at p=0.5", losses)
+	}
+}
+
+// TestBackupMessenger is experiment C8's core behaviour: with a broken
+// transmitter every message still arrives, via movement signalling.
+func TestBackupMessenger(t *testing.T) {
+	net := buildNetwork(t, 4, false, 5)
+	radio := NewRadio(4, 1)
+	bm, err := NewBackupMessenger(radio, net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Working radio: instantaneous delivery, no movement.
+	if err := bm.Send(0, 1, []byte("FAST")); err != nil {
+		t.Fatal(err)
+	}
+	if got := radio.Receive(1); len(got) != 1 || !bytes.Equal(got[0].Payload, []byte("FAST")) {
+		t.Fatalf("radio path broken: %v", got)
+	}
+	// Broken radio: falls back to movement.
+	radio.Break(0)
+	want := []byte("SLOWBUTSURE")
+	if err := bm.Send(0, 2, want); err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := net.RunUntilDelivered(1, 1_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0].To != 2 || !bytes.Equal(got[0].Payload, want) {
+		t.Errorf("fallback delivery %+v", got[0])
+	}
+	viaRadio, viaMovement := bm.Stats()
+	if viaRadio != 1 || viaMovement != 1 {
+		t.Errorf("stats = (%d,%d), want (1,1)", viaRadio, viaMovement)
+	}
+}
+
+func TestBackupMessengerValidation(t *testing.T) {
+	if _, err := NewBackupMessenger(nil, nil); err == nil {
+		t.Error("nil args accepted")
+	}
+	net := buildNetwork(t, 3, false, 6)
+	if _, err := NewBackupMessenger(NewRadio(5, 1), net); err == nil {
+		t.Error("size mismatch accepted")
+	}
+}
+
+func TestNetworkSendAllAndAccessors(t *testing.T) {
+	net := buildNetwork(t, 4, false, 7)
+	if net.Endpoint(0) == nil {
+		t.Fatal("Endpoint accessor broken")
+	}
+	if err := net.SendAll(0, []byte("EVERYONE")); err != nil {
+		t.Fatal(err)
+	}
+	if err := net.SendAll(-1, []byte("x")); err == nil {
+		t.Error("out-of-range SendAll accepted")
+	}
+	got, _, err := net.RunUntilQuiet(5_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 {
+		t.Fatalf("SendAll delivered %d, want 3", len(got))
+	}
+	for _, r := range got {
+		if r.From != 0 || !bytes.Equal(r.Payload, []byte("EVERYONE")) {
+			t.Errorf("bad copy %+v", r)
+		}
+	}
+}
+
+func TestNetworkBroadcastValidation(t *testing.T) {
+	net := buildNetwork(t, 3, false, 8)
+	if err := net.Broadcast(0, []byte("b")); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := net.RunUntilQuiet(5_000_000); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNetworkRunUntilQuietTimeout(t *testing.T) {
+	net := buildNetwork(t, 3, false, 9)
+	if err := net.Send(0, 1, []byte("slow")); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := net.RunUntilQuiet(2); !errors.Is(err, ErrNotDelivered) {
+		t.Errorf("err = %v, want ErrNotDelivered", err)
+	}
+}
+
+func TestBackupMessengerAccessors(t *testing.T) {
+	net := buildNetwork(t, 3, false, 10)
+	radio := NewRadio(3, 2)
+	bm, err := NewBackupMessenger(radio, net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bm.Network() != net || bm.Radio() != radio {
+		t.Error("accessors broken")
+	}
+	// A non-fault radio error propagates rather than falling back.
+	if err := bm.Send(0, 99, []byte("x")); err == nil {
+		t.Error("out-of-range send accepted")
+	}
+}

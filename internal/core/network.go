@@ -1,0 +1,152 @@
+// Package core couples the SSM simulator with the movement-signal
+// protocols into a message-passing network, and implements the paper's
+// fault-tolerance motivation: movement signalling as a backup channel
+// for robots whose ordinary (wireless) communication devices fail.
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"waggle/internal/protocol"
+	"waggle/internal/sim"
+)
+
+// ErrNotDelivered is returned when a run ends before the awaited
+// messages arrive.
+var ErrNotDelivered = errors.New("core: messages not delivered within the step budget")
+
+// Network is a swarm wired for explicit communication: a world whose
+// robots execute a movement-signal protocol, the per-robot endpoints,
+// and the activation scheduler. It is the engine behind the public
+// waggle.Swarm API.
+type Network struct {
+	world     *sim.World
+	scheduler sim.Scheduler
+	endpoints []*protocol.Endpoint
+
+	delivered []protocol.Received
+}
+
+// NewNetwork assembles a network. The endpoints must be the ones
+// driving the world's behaviors.
+func NewNetwork(world *sim.World, scheduler sim.Scheduler, endpoints []*protocol.Endpoint) (*Network, error) {
+	if world == nil {
+		return nil, errors.New("core: nil world")
+	}
+	if scheduler == nil {
+		return nil, errors.New("core: nil scheduler")
+	}
+	if world.N() != len(endpoints) {
+		return nil, fmt.Errorf("core: %d endpoints for %d robots", len(endpoints), world.N())
+	}
+	return &Network{world: world, scheduler: scheduler, endpoints: endpoints}, nil
+}
+
+// World exposes the underlying simulation.
+func (n *Network) World() *sim.World { return n.world }
+
+// Endpoint returns robot i's endpoint.
+func (n *Network) Endpoint(i int) *protocol.Endpoint { return n.endpoints[i] }
+
+// Send queues a message from one robot to another.
+func (n *Network) Send(from, to int, payload []byte) error {
+	if from < 0 || from >= len(n.endpoints) {
+		return fmt.Errorf("core: sender %d out of range", from)
+	}
+	return n.endpoints[from].Send(to, payload)
+}
+
+// Broadcast queues a message from one robot to every other robot as
+// n-1 unicasts.
+func (n *Network) Broadcast(from int, payload []byte) error {
+	if from < 0 || from >= len(n.endpoints) {
+		return fmt.Errorf("core: sender %d out of range", from)
+	}
+	return n.endpoints[from].Broadcast(payload)
+}
+
+// SendAll queues one single-transmission broadcast (§1's efficient
+// one-to-all).
+func (n *Network) SendAll(from int, payload []byte) error {
+	if from < 0 || from >= len(n.endpoints) {
+		return fmt.Errorf("core: sender %d out of range", from)
+	}
+	return n.endpoints[from].SendAll(payload)
+}
+
+// Step advances the simulation one instant and collects any deliveries.
+func (n *Network) Step() error {
+	if _, err := n.world.Step(n.scheduler); err != nil {
+		return err
+	}
+	n.collect()
+	return nil
+}
+
+// RunUntilDelivered advances the simulation until the given number of
+// messages (counted from the start of the run) has been delivered, or
+// the step budget runs out. It returns the deliveries and the number of
+// instants executed.
+func (n *Network) RunUntilDelivered(count, maxSteps int) ([]protocol.Received, int, error) {
+	n.collect()
+	start := len(n.delivered)
+	for step := 0; step < maxSteps; step++ {
+		if len(n.delivered)-start >= count {
+			out := make([]protocol.Received, count)
+			copy(out, n.delivered[start:start+count])
+			return out, step, nil
+		}
+		if err := n.Step(); err != nil {
+			return nil, step, err
+		}
+	}
+	if len(n.delivered)-start >= count {
+		out := make([]protocol.Received, count)
+		copy(out, n.delivered[start:start+count])
+		return out, maxSteps, nil
+	}
+	return nil, maxSteps, fmt.Errorf("%w: %d of %d after %d steps",
+		ErrNotDelivered, len(n.delivered)-start, count, maxSteps)
+}
+
+// RunUntilQuiet advances the simulation until every endpoint is idle
+// (nothing queued or in flight), bounded by maxSteps. It returns all
+// messages delivered during the run.
+func (n *Network) RunUntilQuiet(maxSteps int) ([]protocol.Received, int, error) {
+	n.collect()
+	start := len(n.delivered)
+	for step := 0; step < maxSteps; step++ {
+		if n.allIdle() {
+			return append([]protocol.Received(nil), n.delivered[start:]...), step, nil
+		}
+		if err := n.Step(); err != nil {
+			return nil, step, err
+		}
+	}
+	if n.allIdle() {
+		return append([]protocol.Received(nil), n.delivered[start:]...), maxSteps, nil
+	}
+	return nil, maxSteps, fmt.Errorf("%w: endpoints still busy after %d steps", ErrNotDelivered, maxSteps)
+}
+
+// Delivered returns every message delivered so far, in order.
+func (n *Network) Delivered() []protocol.Received {
+	n.collect()
+	return append([]protocol.Received(nil), n.delivered...)
+}
+
+func (n *Network) allIdle() bool {
+	for _, e := range n.endpoints {
+		if !e.Idle() {
+			return false
+		}
+	}
+	return true
+}
+
+func (n *Network) collect() {
+	for _, e := range n.endpoints {
+		n.delivered = append(n.delivered, e.Receive()...)
+	}
+}

@@ -1,0 +1,142 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+)
+
+// ErrRadioFailed is returned when a transmission is lost and the sender
+// detects it (no acknowledgement).
+var ErrRadioFailed = errors.New("core: radio transmission failed")
+
+// RadioMessage is one message carried (or dropped) by the wireless
+// substrate.
+type RadioMessage struct {
+	From, To int
+	Payload  []byte
+}
+
+// Radio simulates the conventional communication device the paper's
+// robots may carry — and may lose. Delivery is instantaneous; faults are
+// injected per robot (a broken transmitter) or per message (a jammed
+// environment: the paper's "zones with blocked wireless communication").
+// Senders learn about losses synchronously, modelling an acknowledgement
+// timeout.
+type Radio struct {
+	n      int
+	rng    *rand.Rand
+	broken []bool
+	// JamProb is the probability that any single transmission is lost to
+	// interference.
+	JamProb float64
+
+	inboxes   [][]RadioMessage
+	sent      int
+	lost      int
+	delivered int
+}
+
+// NewRadio creates a radio network for n robots with the given fault
+// seed.
+func NewRadio(n int, seed int64) *Radio {
+	return &Radio{
+		n:       n,
+		rng:     rand.New(rand.NewSource(seed)),
+		broken:  make([]bool, n),
+		inboxes: make([][]RadioMessage, n),
+	}
+}
+
+// Break permanently disables robot i's transmitter (a faulty wireless
+// device).
+func (r *Radio) Break(i int) { r.broken[i] = true }
+
+// Repair restores robot i's transmitter.
+func (r *Radio) Repair(i int) { r.broken[i] = false }
+
+// Broken reports whether robot i's transmitter is out of order.
+func (r *Radio) Broken(i int) bool { return r.broken[i] }
+
+// Send transmits a message, returning ErrRadioFailed when it is lost
+// (broken transmitter or jamming).
+func (r *Radio) Send(from, to int, payload []byte) error {
+	if from < 0 || from >= r.n || to < 0 || to >= r.n {
+		return fmt.Errorf("core: radio endpoints %d->%d out of range", from, to)
+	}
+	r.sent++
+	if r.broken[from] || (r.JamProb > 0 && r.rng.Float64() < r.JamProb) {
+		r.lost++
+		return ErrRadioFailed
+	}
+	msg := RadioMessage{From: from, To: to, Payload: append([]byte(nil), payload...)}
+	r.inboxes[to] = append(r.inboxes[to], msg)
+	r.delivered++
+	return nil
+}
+
+// Receive drains robot i's radio inbox.
+func (r *Radio) Receive(i int) []RadioMessage {
+	out := r.inboxes[i]
+	r.inboxes[i] = nil
+	return out
+}
+
+// Stats returns (sent, delivered, lost) counters.
+func (r *Radio) Stats() (sent, delivered, lost int) {
+	return r.sent, r.delivered, r.lost
+}
+
+// BackupMessenger is the paper's fault-tolerance application: messages
+// go over the radio when it works and fall back to movement signalling
+// when it does not ("our solution can serve as a communication backup",
+// §1). The movement channel is the coupled Network.
+type BackupMessenger struct {
+	radio *Radio
+	net   *Network
+
+	viaRadio    int
+	viaMovement int
+}
+
+// NewBackupMessenger couples a radio with a movement-signal network of
+// the same size.
+func NewBackupMessenger(radio *Radio, net *Network) (*BackupMessenger, error) {
+	if radio == nil || net == nil {
+		return nil, errors.New("core: nil radio or network")
+	}
+	if radio.n != net.World().N() {
+		return nil, fmt.Errorf("core: radio for %d robots, network for %d", radio.n, net.World().N())
+	}
+	return &BackupMessenger{radio: radio, net: net}, nil
+}
+
+// Send delivers the message over the radio if possible, otherwise
+// queues it on the movement channel.
+func (b *BackupMessenger) Send(from, to int, payload []byte) error {
+	err := b.radio.Send(from, to, payload)
+	if err == nil {
+		b.viaRadio++
+		return nil
+	}
+	if !errors.Is(err, ErrRadioFailed) {
+		return err
+	}
+	if qErr := b.net.Send(from, to, payload); qErr != nil {
+		return qErr
+	}
+	b.viaMovement++
+	return nil
+}
+
+// Network exposes the movement channel, whose simulation the caller
+// drives (Step / RunUntil*).
+func (b *BackupMessenger) Network() *Network { return b.net }
+
+// Radio exposes the wireless substrate.
+func (b *BackupMessenger) Radio() *Radio { return b.radio }
+
+// Stats returns how many messages went over each channel.
+func (b *BackupMessenger) Stats() (viaRadio, viaMovement int) {
+	return b.viaRadio, b.viaMovement
+}

@@ -1,0 +1,89 @@
+package dist
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// Aggregation computes a global aggregate of per-robot sensor values by
+// all-to-all exchange over the movement channel — "distributed
+// computation among stigmergic robots" in its simplest form: every node
+// broadcasts its reading; once a node holds all n readings it knows the
+// swarm-wide sum, minimum, maximum, and mean.
+type Aggregation struct {
+	// Value is this robot's local reading.
+	Value float64
+
+	values map[int]float64
+	want   int
+	done   bool
+}
+
+var _ Node = (*Aggregation)(nil)
+
+// Start implements Node.
+func (a *Aggregation) Start(api API) error {
+	a.values = map[int]float64{api.Self(): a.Value}
+	a.want = api.N()
+	if a.want == 1 {
+		a.done = true
+		return nil
+	}
+	buf := make([]byte, 8)
+	binary.BigEndian.PutUint64(buf, math.Float64bits(a.Value))
+	return api.Broadcast(buf)
+}
+
+// Deliver implements Node.
+func (a *Aggregation) Deliver(from int, payload []byte, _ API) error {
+	if len(payload) != 8 {
+		return fmt.Errorf("dist: aggregation message from %d has %d bytes, want 8", from, len(payload))
+	}
+	if _, dup := a.values[from]; dup {
+		return fmt.Errorf("dist: duplicate aggregation message from %d", from)
+	}
+	a.values[from] = math.Float64frombits(binary.BigEndian.Uint64(payload))
+	if len(a.values) == a.want {
+		a.done = true
+	}
+	return nil
+}
+
+// Done implements Node.
+func (a *Aggregation) Done() bool { return a.done }
+
+// Sum returns the swarm-wide sum; valid once Done.
+func (a *Aggregation) Sum() float64 {
+	var s float64
+	for _, v := range a.values {
+		s += v
+	}
+	return s
+}
+
+// Min returns the swarm-wide minimum; valid once Done.
+func (a *Aggregation) Min() float64 {
+	m := math.Inf(1)
+	for _, v := range a.values {
+		m = math.Min(m, v)
+	}
+	return m
+}
+
+// Max returns the swarm-wide maximum; valid once Done.
+func (a *Aggregation) Max() float64 {
+	m := math.Inf(-1)
+	for _, v := range a.values {
+		m = math.Max(m, v)
+	}
+	return m
+}
+
+// Mean returns the swarm-wide mean; valid once Done.
+func (a *Aggregation) Mean() float64 {
+	if len(a.values) == 0 {
+		return 0
+	}
+	return a.Sum() / float64(len(a.values))
+}

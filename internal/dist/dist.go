@@ -1,0 +1,168 @@
+// Package dist runs classical message-passing distributed algorithms on
+// top of the movement-signal channel — the paper's motivating claim:
+// "our protocols enable the use of distributed algorithms based on
+// message exchanges among swarms of stigmergic robots" (§1, §5).
+//
+// A Node is the application program of one robot; the Runner drives the
+// simulation, delivering each decoded message to its addressee. The
+// package ships two textbook algorithms as executable proof:
+// flood-max leader election and all-to-all aggregation.
+package dist
+
+import (
+	"errors"
+	"fmt"
+
+	"waggle/internal/geom"
+	"waggle/internal/protocol"
+	"waggle/internal/sim"
+)
+
+// API is what a node may do: inspect its identity and send messages
+// over the movement channel.
+type API interface {
+	// Self returns this node's robot index.
+	Self() int
+	// N returns the swarm size.
+	N() int
+	// Send queues a message to another robot.
+	Send(to int, payload []byte) error
+	// Broadcast queues a message to every other robot. It uses the
+	// protocols' efficient one-to-all (a single transmission on the
+	// sender's own diameter, §1).
+	Broadcast(payload []byte) error
+}
+
+// Node is one robot's application program.
+type Node interface {
+	// Start runs once before the first instant.
+	Start(api API) error
+	// Deliver handles one message addressed to this node.
+	Deliver(from int, payload []byte, api API) error
+	// Done reports whether this node has terminated.
+	Done() bool
+}
+
+// Runner couples nodes with a communicating swarm and drives the
+// execution to global termination.
+type Runner struct {
+	world     *sim.World
+	scheduler sim.Scheduler
+	endpoints []*protocol.Endpoint
+	nodes     []Node
+}
+
+// ErrNotTerminated is returned when the step budget runs out before all
+// nodes are done.
+var ErrNotTerminated = errors.New("dist: nodes did not terminate within the step budget")
+
+// NewRunner validates and assembles a runner. The endpoints must drive
+// the world's behaviors, index-aligned with nodes.
+func NewRunner(world *sim.World, scheduler sim.Scheduler, endpoints []*protocol.Endpoint, nodes []Node) (*Runner, error) {
+	if world == nil || scheduler == nil {
+		return nil, errors.New("dist: nil world or scheduler")
+	}
+	if world.N() != len(endpoints) || world.N() != len(nodes) {
+		return nil, fmt.Errorf("dist: %d robots, %d endpoints, %d nodes", world.N(), len(endpoints), len(nodes))
+	}
+	for i, n := range nodes {
+		if n == nil {
+			return nil, fmt.Errorf("dist: node %d is nil", i)
+		}
+	}
+	return &Runner{world: world, scheduler: scheduler, endpoints: endpoints, nodes: nodes}, nil
+}
+
+// nodeAPI implements API for one node.
+type nodeAPI struct {
+	self     int
+	n        int
+	endpoint *protocol.Endpoint
+}
+
+func (a nodeAPI) Self() int { return a.self }
+func (a nodeAPI) N() int    { return a.n }
+func (a nodeAPI) Send(to int, payload []byte) error {
+	return a.endpoint.Send(to, payload)
+}
+func (a nodeAPI) Broadcast(payload []byte) error {
+	return a.endpoint.SendAll(payload)
+}
+
+var _ API = nodeAPI{}
+
+// Run starts every node, then advances the simulation, dispatching
+// deliveries, until every node reports Done (returning the number of
+// instants executed) or the budget runs out.
+func (r *Runner) Run(maxSteps int) (int, error) {
+	n := r.world.N()
+	apis := make([]nodeAPI, n)
+	for i := range apis {
+		apis[i] = nodeAPI{self: i, n: n, endpoint: r.endpoints[i]}
+	}
+	for i, node := range r.nodes {
+		if err := node.Start(apis[i]); err != nil {
+			return 0, fmt.Errorf("dist: node %d start: %w", i, err)
+		}
+	}
+	for step := 0; step < maxSteps; step++ {
+		if r.allDone() {
+			return step, nil
+		}
+		if _, err := r.world.Step(r.scheduler); err != nil {
+			return step, err
+		}
+		for i, e := range r.endpoints {
+			for _, msg := range e.Receive() {
+				if err := r.nodes[i].Deliver(msg.From, msg.Payload, apis[i]); err != nil {
+					return step, fmt.Errorf("dist: node %d deliver: %w", i, err)
+				}
+			}
+		}
+	}
+	if r.allDone() {
+		return maxSteps, nil
+	}
+	return maxSteps, ErrNotTerminated
+}
+
+func (r *Runner) allDone() bool {
+	for _, n := range r.nodes {
+		if !n.Done() {
+			return false
+		}
+	}
+	return true
+}
+
+// NewSwarmRunner is a convenience constructor: it builds an n-robot
+// communicating world (synchronous SyncN or asynchronous AsyncN, both
+// with SEC naming — anonymous robots, chirality only) and wires the
+// given nodes to it.
+func NewSwarmRunner(positions []geom.Point, synchronous bool, seed int64, nodes []Node) (*Runner, error) {
+	n := len(positions)
+	var (
+		behaviors []sim.Behavior
+		endpoints []*protocol.Endpoint
+		err       error
+		scheduler sim.Scheduler = sim.Synchronous{}
+	)
+	if synchronous {
+		behaviors, endpoints, err = protocol.NewSyncN(n, protocol.SyncNConfig{})
+	} else {
+		behaviors, endpoints, err = protocol.NewAsyncN(n, protocol.AsyncNConfig{})
+		scheduler = sim.FirstSync{Inner: sim.NewRandomFair(seed)}
+	}
+	if err != nil {
+		return nil, err
+	}
+	robots := make([]*sim.Robot, n)
+	for i := range robots {
+		robots[i] = &sim.Robot{Frame: geom.WorldFrame(), Sigma: 1e18, Behavior: behaviors[i]}
+	}
+	world, err := sim.NewWorld(sim.Config{Positions: positions, Robots: robots})
+	if err != nil {
+		return nil, err
+	}
+	return NewRunner(world, scheduler, endpoints, nodes)
+}

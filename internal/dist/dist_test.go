@@ -1,0 +1,195 @@
+package dist
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"waggle/internal/geom"
+	"waggle/internal/sim"
+)
+
+func testPositions(rng *rand.Rand, n int) []geom.Point {
+	pts := make([]geom.Point, 0, n)
+	for len(pts) < n {
+		p := geom.Pt(rng.Float64()*float64(n)*12, rng.Float64()*float64(n)*12)
+		ok := true
+		for _, q := range pts {
+			if p.Dist(q) < 8 {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			pts = append(pts, p)
+		}
+	}
+	return pts
+}
+
+func TestLeaderElectionSync(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	n := 6
+	nodes := make([]Node, n)
+	elections := make([]*LeaderElection, n)
+	for i := range nodes {
+		elections[i] = &LeaderElection{Rank: uint64(rng.Intn(1000))}
+		nodes[i] = elections[i]
+	}
+	// Robot 4 is guaranteed to win.
+	elections[4].Rank = 5000
+	r, err := NewSwarmRunner(testPositions(rng, n), true, 1, nodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	steps, err := r.Run(1_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if steps == 0 {
+		t.Error("terminated instantly")
+	}
+	for i, e := range elections {
+		if !e.Done() {
+			t.Fatalf("node %d not done", i)
+		}
+		if e.Leader() != 4 {
+			t.Errorf("node %d elected %d, want 4", i, e.Leader())
+		}
+		if e.IsLeader() != (i == 4) {
+			t.Errorf("node %d IsLeader = %v", i, e.IsLeader())
+		}
+	}
+}
+
+func TestLeaderElectionAsyncWithTies(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	n := 4
+	nodes := make([]Node, n)
+	elections := make([]*LeaderElection, n)
+	for i := range nodes {
+		elections[i] = &LeaderElection{Rank: 7} // all tied: highest index wins
+		nodes[i] = elections[i]
+	}
+	r, err := NewSwarmRunner(testPositions(rng, n), false, 3, nodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Run(5_000_000); err != nil {
+		t.Fatal(err)
+	}
+	for i, e := range elections {
+		if e.Leader() != n-1 {
+			t.Errorf("node %d elected %d, want %d (tie-break by index)", i, e.Leader(), n-1)
+		}
+	}
+}
+
+func TestAggregationSync(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	n := 5
+	values := []float64{3.5, -1.25, 10, 0, 2.75}
+	nodes := make([]Node, n)
+	aggs := make([]*Aggregation, n)
+	for i := range nodes {
+		aggs[i] = &Aggregation{Value: values[i]}
+		nodes[i] = aggs[i]
+	}
+	r, err := NewSwarmRunner(testPositions(rng, n), true, 4, nodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Run(1_000_000); err != nil {
+		t.Fatal(err)
+	}
+	wantSum := 15.0
+	for i, a := range aggs {
+		if math.Abs(a.Sum()-wantSum) > 1e-9 {
+			t.Errorf("node %d sum = %v, want %v", i, a.Sum(), wantSum)
+		}
+		if a.Min() != -1.25 || a.Max() != 10 {
+			t.Errorf("node %d min/max = %v/%v", i, a.Min(), a.Max())
+		}
+		if math.Abs(a.Mean()-3) > 1e-9 {
+			t.Errorf("node %d mean = %v", i, a.Mean())
+		}
+	}
+}
+
+func TestRunnerValidation(t *testing.T) {
+	if _, err := NewRunner(nil, nil, nil, nil); err == nil {
+		t.Error("nil world accepted")
+	}
+	rng := rand.New(rand.NewSource(5))
+	r, err := NewSwarmRunner(testPositions(rng, 3), true, 1, []Node{
+		&LeaderElection{}, &LeaderElection{}, &LeaderElection{},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = r
+	if _, err := NewSwarmRunner(testPositions(rng, 2), true, 1, []Node{&LeaderElection{}}); err == nil {
+		t.Error("node count mismatch accepted")
+	}
+	if _, err := NewSwarmRunner(testPositions(rng, 2), true, 1, []Node{nil, nil}); err == nil {
+		t.Error("nil nodes accepted")
+	}
+}
+
+func TestRunnerBudgetExhausted(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	nodes := []Node{&LeaderElection{}, &LeaderElection{}, &LeaderElection{}}
+	r, err := NewSwarmRunner(testPositions(rng, 3), true, 1, nodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Run(3); !errors.Is(err, ErrNotTerminated) {
+		t.Errorf("err = %v, want ErrNotTerminated", err)
+	}
+}
+
+func TestDeliverRejectsMalformed(t *testing.T) {
+	var e LeaderElection
+	api := nodeAPI{self: 0, n: 2}
+	e.self = 0
+	e.heard = map[int]bool{0: true}
+	e.want = 2
+	if err := e.Deliver(1, []byte{1, 2, 3}, api); err == nil {
+		t.Error("short election payload accepted")
+	}
+	var a Aggregation
+	a.values = map[int]float64{0: 1}
+	a.want = 2
+	if err := a.Deliver(1, []byte{1}, api); err == nil {
+		t.Error("short aggregation payload accepted")
+	}
+}
+
+// TestElectionUnderAdversarialScheduler couples the distributed
+// algorithm with the starver scheduler: progress only through implicit
+// acknowledgements, with one robot maximally delayed.
+func TestElectionUnderAdversarialScheduler(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	n := 3
+	nodes := make([]Node, n)
+	elections := make([]*LeaderElection, n)
+	for i := range nodes {
+		elections[i] = &LeaderElection{Rank: uint64(i * 10)}
+		nodes[i] = elections[i]
+	}
+	// Hand-wire an AsyncN world with a starver.
+	r, err := NewSwarmRunner(testPositions(rng, n), false, 9, nodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.scheduler = sim.FirstSync{Inner: sim.Starver{Victim: 2, Delay: 6}}
+	if _, err := r.Run(10_000_000); err != nil {
+		t.Fatal(err)
+	}
+	for i, e := range elections {
+		if e.Leader() != 2 {
+			t.Errorf("node %d elected %d, want 2", i, e.Leader())
+		}
+	}
+}

@@ -1,0 +1,76 @@
+package dist
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// LeaderElection elects a leader among the robots by exchanging ranks
+// over the movement channel: every node broadcasts its rank; once a
+// node has heard from everyone it declares the robot with the highest
+// (rank, index) pair the leader. The movement channel is a complete
+// graph, so one round suffices; deterministic and self-contained — the
+// kind of "classical" distributed algorithm the paper's protocols are
+// meant to enable, running on robots that, physically, can only move.
+//
+// Note the contrast with Figure 3: anonymous robots cannot always break
+// symmetry by GEOMETRY, but once explicit communication exists they can
+// exchange arbitrary ranks (here: application-provided values, e.g.
+// battery levels or private random draws).
+type LeaderElection struct {
+	// Rank is this robot's candidate value (higher wins; ties broken by
+	// robot index).
+	Rank uint64
+
+	self     int
+	bestRank uint64
+	bestID   int
+	heard    map[int]bool
+	want     int
+	done     bool
+}
+
+var _ Node = (*LeaderElection)(nil)
+
+// Start implements Node.
+func (l *LeaderElection) Start(api API) error {
+	l.self = api.Self()
+	l.bestRank, l.bestID = l.Rank, api.Self()
+	l.heard = map[int]bool{api.Self(): true}
+	l.want = api.N()
+	if l.want == 1 {
+		l.done = true
+		return nil
+	}
+	buf := make([]byte, 8)
+	binary.BigEndian.PutUint64(buf, l.Rank)
+	return api.Broadcast(buf)
+}
+
+// Deliver implements Node.
+func (l *LeaderElection) Deliver(from int, payload []byte, _ API) error {
+	if len(payload) != 8 {
+		return fmt.Errorf("dist: election message from %d has %d bytes, want 8", from, len(payload))
+	}
+	rank := binary.BigEndian.Uint64(payload)
+	if l.heard[from] {
+		return fmt.Errorf("dist: duplicate election message from %d", from)
+	}
+	l.heard[from] = true
+	if rank > l.bestRank || (rank == l.bestRank && from > l.bestID) {
+		l.bestRank, l.bestID = rank, from
+	}
+	if len(l.heard) == l.want {
+		l.done = true
+	}
+	return nil
+}
+
+// Done implements Node.
+func (l *LeaderElection) Done() bool { return l.done }
+
+// Leader returns the elected robot index; valid once Done.
+func (l *LeaderElection) Leader() int { return l.bestID }
+
+// IsLeader reports whether this robot won; valid once Done.
+func (l *LeaderElection) IsLeader() bool { return l.bestID == l.self }

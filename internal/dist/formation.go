@@ -1,0 +1,175 @@
+package dist
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// FormationNode is a three-phase application that turns a disordered
+// anonymous swarm into a coordinated one using nothing but movement
+// signals — the paper's "distributed computation" promise end to end:
+//
+//  1. elect: every node broadcasts its rank; the highest (rank, index)
+//     pair wins (as in LeaderElection);
+//  2. assign: the leader sends every follower a distinct slot number;
+//  3. each follower terminates once it holds its slot; the leader
+//     terminates once every assignment is out.
+//
+// Slots index positions on a target pattern (e.g. a circle); the
+// post-communication movement to the slots is ordinary robot motion,
+// outside the protocol (see examples/formation). The deterministic
+// circle-formation literature the paper cites solves this by geometry
+// alone under stronger assumptions; with explicit communication it is
+// three rounds of messages.
+type FormationNode struct {
+	// Rank is this robot's election candidate value.
+	Rank uint64
+
+	self   int
+	n      int
+	phase  formationPhase
+	leader int
+
+	bestRank uint64
+	bestID   int
+	heard    map[int]bool
+
+	slot     int
+	assigned bool
+	done     bool
+
+	// A slot can arrive before this node has heard every rank (the
+	// leader finished its election first); it is buffered until the
+	// local election completes.
+	pendingSlot int
+	pendingFrom int
+	pending     bool
+}
+
+type formationPhase int
+
+const (
+	phaseElect formationPhase = iota + 1
+	phaseAwaitSlot
+	phaseDone
+)
+
+const (
+	msgRank = 0x01
+	msgSlot = 0x02
+)
+
+var _ Node = (*FormationNode)(nil)
+
+// Start implements Node.
+func (f *FormationNode) Start(api API) error {
+	f.self = api.Self()
+	f.n = api.N()
+	f.phase = phaseElect
+	f.bestRank, f.bestID = f.Rank, f.self
+	f.heard = map[int]bool{f.self: true}
+	buf := make([]byte, 9)
+	buf[0] = msgRank
+	binary.BigEndian.PutUint64(buf[1:], f.Rank)
+	return api.Broadcast(buf)
+}
+
+// Deliver implements Node.
+func (f *FormationNode) Deliver(from int, payload []byte, api API) error {
+	if len(payload) == 0 {
+		return fmt.Errorf("dist: empty formation message from %d", from)
+	}
+	switch payload[0] {
+	case msgRank:
+		return f.deliverRank(from, payload, api)
+	case msgSlot:
+		return f.deliverSlot(from, payload)
+	default:
+		return fmt.Errorf("dist: unknown formation message type %#x from %d", payload[0], from)
+	}
+}
+
+func (f *FormationNode) deliverRank(from int, payload []byte, api API) error {
+	if len(payload) != 9 {
+		return fmt.Errorf("dist: rank message from %d has %d bytes, want 9", from, len(payload))
+	}
+	if f.heard[from] {
+		return fmt.Errorf("dist: duplicate rank from %d", from)
+	}
+	f.heard[from] = true
+	rank := binary.BigEndian.Uint64(payload[1:])
+	if rank > f.bestRank || (rank == f.bestRank && from > f.bestID) {
+		f.bestRank, f.bestID = rank, from
+	}
+	if len(f.heard) < f.n {
+		return nil
+	}
+	// Election complete.
+	f.leader = f.bestID
+	if f.leader != f.self {
+		f.phase = phaseAwaitSlot
+		if f.pending {
+			if f.pendingFrom != f.leader {
+				return fmt.Errorf("dist: buffered slot from non-leader %d (leader %d)", f.pendingFrom, f.leader)
+			}
+			f.applySlot(f.pendingSlot)
+		}
+		return nil
+	}
+	// This node leads: hand out slots. The leader takes slot 0; the
+	// followers get 1..n-1 in index order.
+	f.slot, f.assigned = 0, true
+	next := 1
+	for to := 0; to < f.n; to++ {
+		if to == f.self {
+			continue
+		}
+		if err := api.Send(to, []byte{msgSlot, byte(next)}); err != nil {
+			return err
+		}
+		next++
+	}
+	f.phase = phaseDone
+	f.done = true
+	return nil
+}
+
+func (f *FormationNode) deliverSlot(from int, payload []byte) error {
+	if len(payload) != 2 {
+		return fmt.Errorf("dist: slot message from %d has %d bytes, want 2", from, len(payload))
+	}
+	switch f.phase {
+	case phaseElect:
+		// The sender finished its election before we finished ours;
+		// buffer the assignment until we know who the leader is.
+		if f.pending {
+			return fmt.Errorf("dist: second early slot message from %d", from)
+		}
+		f.pendingSlot, f.pendingFrom, f.pending = int(payload[1]), from, true
+		return nil
+	case phaseAwaitSlot:
+		if from != f.leader {
+			return fmt.Errorf("dist: slot message from non-leader %d (leader %d)", from, f.leader)
+		}
+		f.applySlot(int(payload[1]))
+		return nil
+	default:
+		return fmt.Errorf("dist: slot message from %d after termination", from)
+	}
+}
+
+func (f *FormationNode) applySlot(slot int) {
+	f.slot = slot
+	f.assigned = true
+	f.phase = phaseDone
+	f.done = true
+}
+
+// Done implements Node.
+func (f *FormationNode) Done() bool { return f.done }
+
+// Leader returns the elected robot; valid once Done.
+func (f *FormationNode) Leader() int { return f.leader }
+
+// Slot returns this robot's assigned pattern slot; valid once Done.
+func (f *FormationNode) Slot() (int, bool) { return f.slot, f.assigned }

@@ -1,0 +1,87 @@
+package dist
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func runFormation(t *testing.T, n int, synchronous bool, seed int64) []*FormationNode {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	nodes := make([]Node, n)
+	forms := make([]*FormationNode, n)
+	for i := range nodes {
+		forms[i] = &FormationNode{Rank: rng.Uint64()}
+		nodes[i] = forms[i]
+	}
+	r, err := NewSwarmRunner(testPositions(rng, n), synchronous, seed, nodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Run(20_000_000); err != nil {
+		t.Fatal(err)
+	}
+	return forms
+}
+
+func checkFormation(t *testing.T, forms []*FormationNode) {
+	t.Helper()
+	n := len(forms)
+	leader := forms[0].Leader()
+	slots := map[int]int{}
+	for i, f := range forms {
+		if !f.Done() {
+			t.Fatalf("node %d not done", i)
+		}
+		if f.Leader() != leader {
+			t.Errorf("node %d disagrees on leader: %d vs %d", i, f.Leader(), leader)
+		}
+		slot, ok := f.Slot()
+		if !ok {
+			t.Fatalf("node %d has no slot", i)
+		}
+		if prev, dup := slots[slot]; dup {
+			t.Errorf("slot %d assigned to both %d and %d", slot, prev, i)
+		}
+		slots[slot] = i
+		if slot < 0 || slot >= n {
+			t.Errorf("node %d slot %d out of range", i, slot)
+		}
+	}
+	if got, ok := forms[leader].Slot(); !ok || got != 0 {
+		t.Errorf("leader slot = %d, want 0", got)
+	}
+}
+
+func TestFormationSync(t *testing.T) {
+	for _, n := range []int{3, 6} {
+		checkFormation(t, runFormation(t, n, true, int64(n)))
+	}
+}
+
+func TestFormationAsync(t *testing.T) {
+	// Asynchronous: the leader may finish before the followers, so the
+	// early-slot buffering path is exercised.
+	checkFormation(t, runFormation(t, 4, false, 11))
+}
+
+func TestFormationMalformed(t *testing.T) {
+	f := &FormationNode{}
+	api := nodeAPI{self: 0, n: 2}
+	f.self = 0
+	f.phase = phaseElect
+	f.heard = map[int]bool{0: true}
+	f.n = 2
+	if err := f.Deliver(1, nil, api); err == nil {
+		t.Error("empty payload accepted")
+	}
+	if err := f.Deliver(1, []byte{0x7F}, api); err == nil {
+		t.Error("unknown type accepted")
+	}
+	if err := f.Deliver(1, []byte{msgRank, 1, 2}, api); err == nil {
+		t.Error("short rank accepted")
+	}
+	if err := f.Deliver(1, []byte{msgSlot, 1, 2}, api); err == nil {
+		t.Error("long slot accepted")
+	}
+}

@@ -1,0 +1,32 @@
+package encoding
+
+import (
+	"bytes"
+	"testing"
+)
+
+func BenchmarkEncodeFrame(b *testing.B) {
+	msg := bytes.Repeat([]byte{0xA5}, 64)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := EncodeFrame(msg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFrameDecoder(b *testing.B) {
+	msg := bytes.Repeat([]byte{0xA5}, 64)
+	frame, err := EncodeFrame(msg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d := NewFrameDecoder()
+		for _, bit := range frame {
+			d.Push(bit)
+		}
+	}
+}

@@ -1,0 +1,244 @@
+// Package encoding turns byte messages into the movement-signal
+// alphabets the protocols transmit, and back:
+//
+//   - bit frames: a 16-bit big-endian length prefix followed by the
+//     payload bits, MSB first. One bit per movement excursion is the
+//     paper's base coding (§3.1, Fig. 1).
+//   - amplitude levels (§3.1 remark): when a robot knows the other's
+//     maximum step 2σ, it can subdivide the left/right travel into k
+//     levels and send log2(k) bits per excursion.
+//   - index codes (§5): with only k+1 movement segments available, the
+//     recipient's index is transmitted as ⌈log_k n⌉ base-k symbols
+//     preceding the message, trading slices for steps.
+package encoding
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// MaxMessageLen is the largest message a frame can carry, bounded by the
+// 16-bit length prefix.
+const MaxMessageLen = 1<<16 - 1
+
+// ErrMessageTooLong is returned when a message exceeds MaxMessageLen.
+var ErrMessageTooLong = errors.New("encoding: message exceeds 65535 bytes")
+
+// headerBits is the size of the length prefix.
+const headerBits = 16
+
+// BitsFromBytes expands bytes to bits, MSB first.
+func BitsFromBytes(data []byte) []bool {
+	out := make([]bool, 0, len(data)*8)
+	for _, b := range data {
+		for i := 7; i >= 0; i-- {
+			out = append(out, b&(1<<uint(i)) != 0)
+		}
+	}
+	return out
+}
+
+// BytesFromBits packs bits (MSB first) into bytes. The bit count must be
+// a multiple of eight.
+func BytesFromBits(bits []bool) ([]byte, error) {
+	if len(bits)%8 != 0 {
+		return nil, fmt.Errorf("encoding: %d bits is not a whole number of bytes", len(bits))
+	}
+	out := make([]byte, len(bits)/8)
+	for i, bit := range bits {
+		if bit {
+			out[i/8] |= 1 << uint(7-i%8)
+		}
+	}
+	return out, nil
+}
+
+// EncodeFrame produces the bit stream for one message: 16-bit length
+// prefix followed by the payload bits.
+func EncodeFrame(msg []byte) ([]bool, error) {
+	if len(msg) > MaxMessageLen {
+		return nil, ErrMessageTooLong
+	}
+	header := []byte{byte(len(msg) >> 8), byte(len(msg))}
+	bits := BitsFromBytes(header)
+	return append(bits, BitsFromBytes(msg)...), nil
+}
+
+// FrameDecoder incrementally reassembles messages from a bit stream.
+// Feed bits with Push; each completed message is returned exactly once.
+type FrameDecoder struct {
+	bits    []bool
+	needLen int // payload length in bits, -1 while reading the header
+}
+
+// NewFrameDecoder returns an empty decoder.
+func NewFrameDecoder() *FrameDecoder {
+	return &FrameDecoder{needLen: -1}
+}
+
+// Push feeds one bit. When the bit completes a message, the message is
+// returned with ok == true; otherwise ok is false.
+func (d *FrameDecoder) Push(bit bool) (msg []byte, ok bool) {
+	d.bits = append(d.bits, bit)
+	if d.needLen < 0 {
+		if len(d.bits) < headerBits {
+			return nil, false
+		}
+		header, err := BytesFromBits(d.bits[:headerBits])
+		if err != nil {
+			// Unreachable: headerBits is a multiple of 8.
+			return nil, false
+		}
+		d.needLen = (int(header[0])<<8 | int(header[1])) * 8
+		d.bits = d.bits[:0]
+		if d.needLen > 0 {
+			return nil, false
+		}
+		// Zero-length message completes immediately.
+		d.needLen = -1
+		return []byte{}, true
+	}
+	if len(d.bits) < d.needLen {
+		return nil, false
+	}
+	payload, err := BytesFromBits(d.bits)
+	if err != nil {
+		return nil, false // unreachable: needLen is a multiple of 8
+	}
+	d.bits = d.bits[:0]
+	d.needLen = -1
+	return payload, true
+}
+
+// Pending returns how many bits are buffered towards the next message.
+func (d *FrameDecoder) Pending() int { return len(d.bits) }
+
+// Levels is the §3.1 amplitude-level codec: the sender's left/right
+// travel range [-1, 1] (normalised to the receiver-known maximum step)
+// is split into K equal levels, each carrying log2(K) bits. K must be a
+// power of two, at least 2, so level boundaries align with bit groups;
+// K = 2 degenerates to the plain one-bit-per-move coding.
+type Levels struct {
+	k       int
+	bitsPer int
+}
+
+// ErrBadLevelCount is returned when K is not a power of two >= 2.
+var ErrBadLevelCount = errors.New("encoding: level count must be a power of two >= 2")
+
+// NewLevels validates K and returns the codec.
+func NewLevels(k int) (Levels, error) {
+	if k < 2 || k&(k-1) != 0 {
+		return Levels{}, ErrBadLevelCount
+	}
+	return Levels{k: k, bitsPer: int(math.Round(math.Log2(float64(k))))}, nil
+}
+
+// K returns the level count.
+func (l Levels) K() int { return l.k }
+
+// BitsPerSymbol returns log2(K).
+func (l Levels) BitsPerSymbol() int { return l.bitsPer }
+
+// Offset maps a symbol in [0, K) to its normalised displacement in
+// [-1, 1] \ {0}: the centre of the symbol's level band. Level bands are
+// arranged from -1 (symbol 0) to +1 (symbol K-1); because K is even, no
+// band centre falls on zero, so every symbol is a visible move.
+func (l Levels) Offset(symbol int) (float64, error) {
+	if symbol < 0 || symbol >= l.k {
+		return 0, fmt.Errorf("encoding: symbol %d out of range [0,%d)", symbol, l.k)
+	}
+	return -1 + 2*(float64(symbol)+0.5)/float64(l.k), nil
+}
+
+// Symbol maps an observed normalised displacement back to the nearest
+// symbol.
+func (l Levels) Symbol(offset float64) int {
+	s := int(math.Floor((offset + 1) / 2 * float64(l.k)))
+	if s < 0 {
+		s = 0
+	}
+	if s >= l.k {
+		s = l.k - 1
+	}
+	return s
+}
+
+// SymbolsFromBits groups a bit stream into symbols of BitsPerSymbol bits
+// (MSB first), zero-padding the tail.
+func (l Levels) SymbolsFromBits(bits []bool) []int {
+	nSym := (len(bits) + l.bitsPer - 1) / l.bitsPer
+	out := make([]int, 0, nSym)
+	for i := 0; i < len(bits); i += l.bitsPer {
+		s := 0
+		for j := 0; j < l.bitsPer; j++ {
+			s <<= 1
+			if i+j < len(bits) && bits[i+j] {
+				s |= 1
+			}
+		}
+		out = append(out, s)
+	}
+	return out
+}
+
+// BitsFromSymbols expands symbols back into bits, BitsPerSymbol each.
+// The caller (typically a FrameDecoder) discards any zero padding by
+// stopping at frame completion.
+func (l Levels) BitsFromSymbols(symbols []int) []bool {
+	out := make([]bool, 0, len(symbols)*l.bitsPer)
+	for _, s := range symbols {
+		for j := l.bitsPer - 1; j >= 0; j-- {
+			out = append(out, s&(1<<uint(j)) != 0)
+		}
+	}
+	return out
+}
+
+// IndexCodeLen returns ⌈log_k n⌉, the number of base-k symbols needed to
+// address one of n recipients (§5). n must be >= 1 and k >= 2.
+func IndexCodeLen(n, k int) int {
+	if n <= 1 {
+		return 1
+	}
+	length := 0
+	for v := n - 1; v > 0; v /= k {
+		length++
+	}
+	return length
+}
+
+// EncodeIndex writes the recipient index as base-k symbols, most
+// significant first, using exactly IndexCodeLen(n, k) symbols.
+func EncodeIndex(index, n, k int) ([]int, error) {
+	if k < 2 {
+		return nil, fmt.Errorf("encoding: base %d too small", k)
+	}
+	if index < 0 || index >= n {
+		return nil, fmt.Errorf("encoding: index %d out of range [0,%d)", index, n)
+	}
+	length := IndexCodeLen(n, k)
+	out := make([]int, length)
+	v := index
+	for i := length - 1; i >= 0; i-- {
+		out[i] = v % k
+		v /= k
+	}
+	return out, nil
+}
+
+// DecodeIndex reverses EncodeIndex.
+func DecodeIndex(symbols []int, k int) (int, error) {
+	if k < 2 {
+		return 0, fmt.Errorf("encoding: base %d too small", k)
+	}
+	v := 0
+	for _, s := range symbols {
+		if s < 0 || s >= k {
+			return 0, fmt.Errorf("encoding: symbol %d out of base-%d range", s, k)
+		}
+		v = v*k + s
+	}
+	return v, nil
+}

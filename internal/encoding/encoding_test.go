@@ -1,0 +1,321 @@
+package encoding
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestBitsBytesRoundTrip(t *testing.T) {
+	tests := []struct {
+		name string
+		give []byte
+	}{
+		{"empty", nil},
+		{"single zero", []byte{0}},
+		{"single 0xFF", []byte{0xFF}},
+		{"ascii", []byte("HELLO")},
+		{"binary", []byte{0x00, 0x01, 0x80, 0xAA, 0x55}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			bits := BitsFromBytes(tt.give)
+			if len(bits) != len(tt.give)*8 {
+				t.Fatalf("bit count = %d, want %d", len(bits), len(tt.give)*8)
+			}
+			back, err := BytesFromBits(bits)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(back, tt.give) {
+				t.Errorf("round trip = %v, want %v", back, tt.give)
+			}
+		})
+	}
+}
+
+func TestBitsMSBFirst(t *testing.T) {
+	bits := BitsFromBytes([]byte{0x80})
+	if !bits[0] {
+		t.Error("0x80 must have its first bit set (MSB first)")
+	}
+	for _, b := range bits[1:] {
+		if b {
+			t.Error("0x80 must have only its first bit set")
+		}
+	}
+}
+
+func TestBytesFromBitsRejectsPartial(t *testing.T) {
+	if _, err := BytesFromBits(make([]bool, 7)); err == nil {
+		t.Error("7 bits should be rejected")
+	}
+}
+
+func TestFrameRoundTrip(t *testing.T) {
+	tests := []struct {
+		name string
+		msg  []byte
+	}{
+		{"empty message", []byte{}},
+		{"one byte", []byte{0x42}},
+		{"text", []byte("deaf dumb chatting")},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			bits, err := EncodeFrame(tt.msg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			d := NewFrameDecoder()
+			var got []byte
+			done := false
+			for i, b := range bits {
+				msg, ok := d.Push(b)
+				if ok {
+					if i != len(bits)-1 {
+						t.Fatalf("frame completed early at bit %d of %d", i, len(bits))
+					}
+					got, done = msg, true
+				}
+			}
+			if !done {
+				t.Fatal("frame never completed")
+			}
+			if !bytes.Equal(got, tt.msg) {
+				t.Errorf("decoded %q, want %q", got, tt.msg)
+			}
+		})
+	}
+}
+
+func TestFrameDecoderBackToBack(t *testing.T) {
+	msgs := [][]byte{[]byte("A"), []byte("BC"), {}, []byte("DEF")}
+	var stream []bool
+	for _, m := range msgs {
+		bits, err := EncodeFrame(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		stream = append(stream, bits...)
+	}
+	d := NewFrameDecoder()
+	var got [][]byte
+	for _, b := range stream {
+		if msg, ok := d.Push(b); ok {
+			got = append(got, msg)
+		}
+	}
+	if len(got) != len(msgs) {
+		t.Fatalf("decoded %d messages, want %d", len(got), len(msgs))
+	}
+	for i := range msgs {
+		if !bytes.Equal(got[i], msgs[i]) {
+			t.Errorf("message %d = %q, want %q", i, got[i], msgs[i])
+		}
+	}
+	if d.Pending() != 0 {
+		t.Errorf("decoder has %d stray bits", d.Pending())
+	}
+}
+
+func TestEncodeFrameTooLong(t *testing.T) {
+	if _, err := EncodeFrame(make([]byte, MaxMessageLen+1)); !errors.Is(err, ErrMessageTooLong) {
+		t.Errorf("err = %v, want ErrMessageTooLong", err)
+	}
+	if _, err := EncodeFrame(make([]byte, MaxMessageLen)); err != nil {
+		t.Errorf("max-length message rejected: %v", err)
+	}
+}
+
+// Property: any byte message survives the frame round trip.
+func TestFramePropertyRoundTrip(t *testing.T) {
+	f := func(msg []byte) bool {
+		if len(msg) > MaxMessageLen {
+			msg = msg[:MaxMessageLen]
+		}
+		bits, err := EncodeFrame(msg)
+		if err != nil {
+			return false
+		}
+		d := NewFrameDecoder()
+		for i, b := range bits {
+			got, ok := d.Push(b)
+			if ok {
+				return i == len(bits)-1 && bytes.Equal(got, msg)
+			}
+		}
+		return false
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNewLevelsValidation(t *testing.T) {
+	for _, k := range []int{-1, 0, 1, 3, 6, 100} {
+		if _, err := NewLevels(k); !errors.Is(err, ErrBadLevelCount) {
+			t.Errorf("k=%d: err = %v, want ErrBadLevelCount", k, err)
+		}
+	}
+	for _, k := range []int{2, 4, 8, 256} {
+		l, err := NewLevels(k)
+		if err != nil {
+			t.Errorf("k=%d: %v", k, err)
+			continue
+		}
+		if l.BitsPerSymbol() != int(math.Log2(float64(k))) {
+			t.Errorf("k=%d: bits per symbol = %d", k, l.BitsPerSymbol())
+		}
+	}
+}
+
+func TestLevelsOffsets(t *testing.T) {
+	l, err := NewLevels(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o0, _ := l.Offset(0)
+	o1, _ := l.Offset(1)
+	if o0 != -0.5 || o1 != 0.5 {
+		t.Errorf("binary offsets = %v, %v; want -0.5, 0.5", o0, o1)
+	}
+	if _, err := l.Offset(2); err == nil {
+		t.Error("out-of-range symbol accepted")
+	}
+	if _, err := l.Offset(-1); err == nil {
+		t.Error("negative symbol accepted")
+	}
+}
+
+// Property: every symbol's offset decodes back to the symbol, offsets
+// are strictly increasing, and none is zero (a zero offset would be an
+// invisible move).
+func TestLevelsPropertyRoundTrip(t *testing.T) {
+	for _, k := range []int{2, 4, 8, 16, 64, 256} {
+		l, err := NewLevels(k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		prev := math.Inf(-1)
+		for s := 0; s < k; s++ {
+			off, err := l.Offset(s)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if off <= prev {
+				t.Fatalf("k=%d: offsets not increasing at symbol %d", k, s)
+			}
+			prev = off
+			if math.Abs(off) < 1.0/float64(2*k) {
+				t.Fatalf("k=%d symbol %d: offset %v too close to zero", k, s, off)
+			}
+			if got := l.Symbol(off); got != s {
+				t.Fatalf("k=%d: Symbol(Offset(%d)) = %d", k, s, got)
+			}
+			// Decoding tolerates noise up to half a level width.
+			noise := 0.9 / float64(k)
+			if got := l.Symbol(off + noise*0.99/2); got != s {
+				t.Fatalf("k=%d symbol %d: positive noise broke decoding", k, s)
+			}
+		}
+	}
+}
+
+func TestSymbolBitsRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for _, k := range []int{2, 4, 16} {
+		l, err := NewLevels(k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		msg := make([]byte, 1+rng.Intn(64))
+		rng.Read(msg)
+		frame, err := EncodeFrame(msg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		symbols := l.SymbolsFromBits(frame)
+		bits := l.BitsFromSymbols(symbols)
+		if len(bits) < len(frame) {
+			t.Fatalf("k=%d: lost bits: %d < %d", k, len(bits), len(frame))
+		}
+		d := NewFrameDecoder()
+		var got []byte
+		for _, b := range bits {
+			if m, ok := d.Push(b); ok {
+				got = m
+				break
+			}
+		}
+		if !bytes.Equal(got, msg) {
+			t.Errorf("k=%d: decoded %v, want %v", k, got, msg)
+		}
+	}
+}
+
+func TestIndexCodeLen(t *testing.T) {
+	tests := []struct {
+		n, k, want int
+	}{
+		{1, 2, 1},
+		{2, 2, 1},
+		{3, 2, 2},
+		{8, 2, 3},
+		{9, 2, 4},
+		{16, 4, 2},
+		{17, 4, 3},
+		{1000, 10, 3},
+	}
+	for _, tt := range tests {
+		if got := IndexCodeLen(tt.n, tt.k); got != tt.want {
+			t.Errorf("IndexCodeLen(%d, %d) = %d, want %d", tt.n, tt.k, got, tt.want)
+		}
+	}
+}
+
+// Property: every index of every swarm size round-trips at every base.
+func TestIndexCodePropertyRoundTrip(t *testing.T) {
+	for _, k := range []int{2, 3, 5, 16} {
+		for _, n := range []int{1, 2, 7, 64, 100} {
+			wantLen := IndexCodeLen(n, k)
+			for idx := 0; idx < n; idx++ {
+				syms, err := EncodeIndex(idx, n, k)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if len(syms) != wantLen {
+					t.Fatalf("n=%d k=%d idx=%d: %d symbols, want %d", n, k, idx, len(syms), wantLen)
+				}
+				got, err := DecodeIndex(syms, k)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if got != idx {
+					t.Fatalf("n=%d k=%d: round trip %d -> %d", n, k, idx, got)
+				}
+			}
+		}
+	}
+}
+
+func TestIndexCodeErrors(t *testing.T) {
+	if _, err := EncodeIndex(0, 4, 1); err == nil {
+		t.Error("base 1 accepted")
+	}
+	if _, err := EncodeIndex(4, 4, 2); err == nil {
+		t.Error("out-of-range index accepted")
+	}
+	if _, err := EncodeIndex(-1, 4, 2); err == nil {
+		t.Error("negative index accepted")
+	}
+	if _, err := DecodeIndex([]int{2}, 2); err == nil {
+		t.Error("out-of-base symbol accepted")
+	}
+	if _, err := DecodeIndex([]int{0}, 0); err == nil {
+		t.Error("base 0 accepted")
+	}
+}

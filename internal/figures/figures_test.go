@@ -1,0 +1,106 @@
+package figures
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestGenerateAllFigures(t *testing.T) {
+	wantFragments := map[int][]string{
+		1: {"Figure 1", "bit 0", "bit 1", "instant"},
+		2: {"Figure 2", "granular", "robot 9", "nearest robot"},
+		3: {"Figure 3", "symmetry order: 2", "robots 0 and 3"},
+		4: {"Figure 4", "O", "label w.r.t. observer", "clockwise"},
+		5: {"Figure 5", "final separation", "Lemma 4.1"},
+		6: {"Figure 6", "κ", "diameters"},
+	}
+	for fig := 1; fig <= 6; fig++ {
+		out, err := Generate(fig)
+		if err != nil {
+			t.Fatalf("figure %d: %v", fig, err)
+		}
+		for _, frag := range wantFragments[fig] {
+			if !strings.Contains(out, frag) {
+				t.Errorf("figure %d missing %q", fig, frag)
+			}
+		}
+	}
+}
+
+func TestGenerateUnknownFigure(t *testing.T) {
+	if _, err := Generate(7); err == nil {
+		t.Error("figure 7 accepted")
+	}
+	if _, err := Generate(0); err == nil {
+		t.Error("figure 0 accepted")
+	}
+}
+
+func TestFig1ShowsBothBitValues(t *testing.T) {
+	out, err := Fig1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "RIGHT -> bit 0") || !strings.Contains(out, "LEFT  -> bit 1") {
+		t.Errorf("figure 1 trace lacks both bit directions:\n%s", out)
+	}
+}
+
+func TestFig5RunsToDelivery(t *testing.T) {
+	out, err := Fig5()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The drift drawback: separation grew beyond the initial 10.
+	if !strings.Contains(out, "final separation") {
+		t.Fatal("missing separation line")
+	}
+}
+
+func TestRandomConfiguration(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	pts := RandomConfiguration(rng, 20, 100, 5)
+	if len(pts) != 20 {
+		t.Fatalf("got %d points", len(pts))
+	}
+	for i := range pts {
+		for j := i + 1; j < len(pts); j++ {
+			if pts[i].Dist(pts[j]) < 5 {
+				t.Fatalf("points %d and %d too close", i, j)
+			}
+		}
+	}
+}
+
+func TestFig2PositionsWellSeparated(t *testing.T) {
+	pts := Fig2Positions()
+	if len(pts) != 12 {
+		t.Fatalf("Fig2 has %d robots, want 12", len(pts))
+	}
+	for i := range pts {
+		for j := i + 1; j < len(pts); j++ {
+			if pts[i].Dist(pts[j]) < 5 {
+				t.Errorf("robots %d and %d closer than 5", i, j)
+			}
+		}
+	}
+}
+
+func TestGenerateSVGAll(t *testing.T) {
+	for fig := 2; fig <= 6; fig++ {
+		doc, err := GenerateSVG(fig)
+		if err != nil {
+			t.Fatalf("figure %d: %v", fig, err)
+		}
+		if !strings.Contains(doc, "<svg") || !strings.Contains(doc, "</svg>") {
+			t.Errorf("figure %d: invalid SVG", fig)
+		}
+	}
+	if _, err := GenerateSVG(1); err == nil {
+		t.Error("figure 1 should have no SVG form")
+	}
+	if _, err := GenerateSVG(7); err == nil {
+		t.Error("figure 7 accepted")
+	}
+}

@@ -1,0 +1,182 @@
+package figures
+
+import (
+	"fmt"
+
+	"waggle/internal/geom"
+	"waggle/internal/naming"
+	"waggle/internal/protocol"
+	"waggle/internal/render"
+	"waggle/internal/sec"
+	"waggle/internal/sim"
+	"waggle/internal/voronoi"
+)
+
+// palette for the SVG figures.
+const (
+	colSite     = "#1a1a1a"
+	colCell     = "#9aa7b1"
+	colGranular = "#2e7d32"
+	colSEC      = "#1565c0"
+	colHorizon  = "#c62828"
+	colPathA    = "#c62828"
+	colPathB    = "#1565c0"
+	colKappa    = "#c62828"
+	colSlice    = "#9aa7b1"
+	colLabel    = "#1a1a1a"
+)
+
+// GenerateSVG renders the geometric figures (2, 3, 4, 5, 6) as SVG
+// documents. Figure 1 is a timeline, best read in the ASCII/table form.
+func GenerateSVG(fig int) (string, error) {
+	switch fig {
+	case 2:
+		return fig2SVG()
+	case 3:
+		return fig3SVG()
+	case 4:
+		return fig4SVG()
+	case 5:
+		return fig5SVG()
+	case 6:
+		return fig6SVG()
+	default:
+		return "", fmt.Errorf("figures: no SVG for figure %d (try 2-6)", fig)
+	}
+}
+
+func fig2SVG() (string, error) {
+	pts := Fig2Positions()
+	d, err := voronoi.New(pts)
+	if err != nil {
+		return "", err
+	}
+	svg := render.SVGFor(pts, 720, 12)
+	for i, c := range d.Cells() {
+		svg.Polygon(c.Region, colCell, 1)
+		svg.Circle(c.Granular, colGranular, 1.2)
+		svg.Dot(c.Site, 3.5, colSite)
+		svg.Text(c.Site.Add(geom.V(1.2, 1.2)), fmt.Sprintf("%d", i), colLabel, 12)
+	}
+	return svg.String(), nil
+}
+
+func fig3SVG() (string, error) {
+	pts := naming.Fig3Configuration()
+	svg := render.SVGFor(pts, 560, 1.5)
+	center := geom.Centroid(pts)
+	svg.Dot(center, 2.5, colHorizon)
+	for i, p := range pts {
+		svg.Dot(p, 4, colSite)
+		svg.Text(p.Add(geom.V(0.2, 0.25)), fmt.Sprintf("%d", i), colLabel, 13)
+		// Connect each robot to its symmetric counterpart.
+		for j := i + 1; j < len(pts); j++ {
+			if naming.ViewsIndistinguishable(pts, i, j) {
+				svg.Line(geom.Segment{A: p, B: pts[j]}, colCell, 0.6)
+			}
+		}
+	}
+	return svg.String(), nil
+}
+
+func fig4SVG() (string, error) {
+	pts := Fig2Positions()
+	circle, err := sec.Enclosing(pts)
+	if err != nil {
+		return "", err
+	}
+	const observer = 8
+	labels, err := naming.SECLabels(pts, observer, circle)
+	if err != nil {
+		return "", err
+	}
+	bounds := append(append([]geom.Point(nil), pts...),
+		circle.PointAt(0), circle.PointAt(1.57), circle.PointAt(3.14), circle.PointAt(4.71))
+	svg := render.SVGFor(bounds, 720, 8)
+	svg.Circle(circle, colSEC, 1.5)
+	svg.Dot(circle.Center, 3, colSEC)
+	svg.Text(circle.Center.Add(geom.V(1.5, 1.5)), "O", colSEC, 13)
+	svg.Line(geom.Segment{A: circle.Center, B: circle.Center.Add(
+		pts[observer].Sub(circle.Center).Unit().Scale(circle.R))}, colHorizon, 1.5)
+	for i, p := range pts {
+		svg.Dot(p, 3.5, colSite)
+		svg.Text(p.Add(geom.V(1.2, 1.2)), fmt.Sprintf("%d", labels[i]), colLabel, 12)
+	}
+	return svg.String(), nil
+}
+
+func fig5SVG() (string, error) {
+	behaviors, endpoints, err := protocol.NewAsync2(protocol.Async2Config{})
+	if err != nil {
+		return "", err
+	}
+	robots := []*sim.Robot{
+		{Frame: geom.WorldFrame(), Sigma: 1e9, Behavior: behaviors[0]},
+		{Frame: geom.WorldFrame(), Sigma: 1e9, Behavior: behaviors[1]},
+	}
+	w, err := sim.NewWorld(sim.Config{
+		Positions:   []geom.Point{geom.Pt(0, 0), geom.Pt(10, 0)},
+		Robots:      robots,
+		RecordTrace: true,
+	})
+	if err != nil {
+		return "", err
+	}
+	if err := endpoints[0].Send(1, []byte{0x25}); err != nil {
+		return "", err
+	}
+	if _, _, err := w.Run(sim.FirstSync{Inner: sim.NewRandomFair(1)}, 1_000_000, func(*sim.World) bool {
+		return len(endpoints[1].Receive()) > 0
+	}); err != nil {
+		return "", err
+	}
+	var pathA, pathB []geom.Point
+	pathA = append(pathA, geom.Pt(0, 0))
+	pathB = append(pathB, geom.Pt(10, 0))
+	for _, s := range w.Trace().Steps() {
+		pathA = append(pathA, s.Positions[0])
+		pathB = append(pathB, s.Positions[1])
+	}
+	svg := render.SVGFor(append(append([]geom.Point(nil), pathA...), pathB...), 900, 2)
+	svg.Path(pathA, colPathA, 1.4)
+	svg.Path(pathB, colPathB, 1.4)
+	svg.Dot(pathA[0], 4, colPathA)
+	svg.Dot(pathB[0], 4, colPathB)
+	svg.Text(pathA[0].Add(geom.V(0.3, 0.6)), "r (sends)", colPathA, 12)
+	svg.Text(pathB[0].Add(geom.V(0.3, 0.6)), "r'", colPathB, 12)
+	return svg.String(), nil
+}
+
+func fig6SVG() (string, error) {
+	pts := []geom.Point{
+		geom.Pt(0, 0), geom.Pt(30, 6), geom.Pt(18, 28), geom.Pt(-10, 22),
+	}
+	circle, err := sec.Enclosing(pts)
+	if err != nil {
+		return "", err
+	}
+	const robot = 0
+	n := len(pts)
+	horizon := pts[robot].Sub(circle.Center).Unit()
+	radius := granularRadius(pts, robot)
+	corners := []geom.Point{
+		pts[robot].Add(geom.V(-radius*1.25, -radius*1.25)),
+		pts[robot].Add(geom.V(radius*1.25, radius*1.25)),
+	}
+	svg := render.SVGFor(corners, 560, 0)
+	svg.Circle(geom.Circle{Center: pts[robot], R: radius}, colGranular, 1.5)
+	diameters := n + 1
+	for k := 0; k < diameters; k++ {
+		dir := horizon.Rotate(-float64(k) * 3.141592653589793 / float64(diameters))
+		color, width := colSlice, 1.0
+		if k == 0 {
+			color, width = colKappa, 2.0
+		}
+		a := pts[robot].Add(dir.Scale(radius))
+		b := pts[robot].Add(dir.Scale(-radius))
+		svg.Line(geom.Segment{A: a, B: b}, color, width)
+		svg.Text(pts[robot].Add(dir.Scale(radius*1.12)), diameterName(k), colLabel, 13)
+	}
+	svg.Dot(pts[robot], 4, colSite)
+	return svg.String(), nil
+}

@@ -1,0 +1,57 @@
+package geom
+
+import "math"
+
+// Circle is a circle with Center and radius R.
+type Circle struct {
+	Center Point
+	R      float64
+}
+
+// Contains reports whether p lies inside or on the circle, with Eps
+// slack on the boundary.
+func (c Circle) Contains(p Point) bool {
+	return c.Center.Dist(p) <= c.R+Eps*(1+c.R)
+}
+
+// StrictlyInside reports whether p lies strictly inside the circle with
+// Eps slack.
+func (c Circle) StrictlyInside(p Point) bool {
+	return c.Center.Dist(p) < c.R-Eps*(1+c.R)
+}
+
+// OnBoundary reports whether p lies on the circle within tolerance.
+func (c Circle) OnBoundary(p Point) bool {
+	return math.Abs(c.Center.Dist(p)-c.R) <= Eps*(1+c.R)
+}
+
+// PointAt returns the boundary point at polar angle theta.
+func (c Circle) PointAt(theta float64) Point {
+	s, cth := math.Sincos(theta)
+	return Point{X: c.Center.X + c.R*cth, Y: c.Center.Y + c.R*s}
+}
+
+// Area returns the area of the circle.
+func (c Circle) Area() float64 { return math.Pi * c.R * c.R }
+
+// CircleFrom2 returns the smallest circle through a and b (diameter ab).
+func CircleFrom2(a, b Point) Circle {
+	return Circle{Center: a.Mid(b), R: a.Dist(b) / 2}
+}
+
+// CircleFrom3 returns the circumscribed circle of the triangle abc and
+// true, or the zero circle and false if the points are (near-)collinear.
+func CircleFrom3(a, b, c Point) (Circle, bool) {
+	// Solve for the circumcenter via perpendicular bisector intersection.
+	l1 := PerpBisector(a, b)
+	l2 := PerpBisector(b, c)
+	center, ok := l1.Intersect(l2)
+	if !ok {
+		return Circle{}, false
+	}
+	return Circle{Center: center, R: center.Dist(a)}, true
+}
+
+// Disc is an alias emphasising the filled region semantics of Circle in
+// contexts such as the granular of a Voronoi cell.
+type Disc = Circle

@@ -1,0 +1,124 @@
+package geom
+
+import "math"
+
+// Line is an infinite directed line through Origin with direction Dir.
+// Dir need not be normalised but must be non-zero.
+type Line struct {
+	Origin Point
+	Dir    Vec
+}
+
+// LineThrough returns the directed line from a towards b.
+func LineThrough(a, b Point) Line {
+	return Line{Origin: a, Dir: b.Sub(a)}
+}
+
+// At returns the point Origin + t*Dir.
+func (l Line) At(t float64) Point { return l.Origin.Add(l.Dir.Scale(t)) }
+
+// Project returns the parameter t of the orthogonal projection of p onto
+// l, i.e. l.At(t) is the closest point of l to p.
+func (l Line) Project(p Point) float64 {
+	d2 := l.Dir.Len2()
+	if d2 <= Eps*Eps {
+		return 0
+	}
+	return p.Sub(l.Origin).Dot(l.Dir) / d2
+}
+
+// ClosestPoint returns the point of l closest to p.
+func (l Line) ClosestPoint(p Point) Point { return l.At(l.Project(p)) }
+
+// Dist returns the distance from p to l.
+func (l Line) Dist(p Point) float64 { return p.Dist(l.ClosestPoint(p)) }
+
+// Side reports which side of l the point p lies on: +1 for the left side
+// (counterclockwise of Dir), -1 for the right side, 0 for on the line.
+func (l Line) Side(p Point) int {
+	cross := l.Dir.Cross(p.Sub(l.Origin))
+	tol := Eps * (1 + l.Dir.Len()*p.Sub(l.Origin).Len())
+	switch {
+	case cross > tol:
+		return 1
+	case cross < -tol:
+		return -1
+	default:
+		return 0
+	}
+}
+
+// Intersect returns the intersection point of l and m and true, or the
+// zero point and false when the lines are (near-)parallel.
+func (l Line) Intersect(m Line) (Point, bool) {
+	denom := l.Dir.Cross(m.Dir)
+	if math.Abs(denom) <= Eps*(1+l.Dir.Len()*m.Dir.Len()) {
+		return Point{}, false
+	}
+	t := m.Origin.Sub(l.Origin).Cross(m.Dir) / denom
+	return l.At(t), true
+}
+
+// PerpBisector returns the perpendicular bisector of segment ab, directed
+// so that a lies on its left side. This orientation is what the Voronoi
+// half-plane clipping relies on.
+func PerpBisector(a, b Point) Line {
+	mid := a.Mid(b)
+	// ab rotated by +90° points to the left of ab; with Dir set to that
+	// rotation the point a (which is to the left of the bisector when the
+	// bisector is directed along Perp of ab)... Orient explicitly instead:
+	dir := b.Sub(a).Perp()
+	l := Line{Origin: mid, Dir: dir}
+	if l.Side(a) < 0 {
+		l.Dir = l.Dir.Neg()
+	}
+	return l
+}
+
+// Segment is the closed segment between A and B.
+type Segment struct {
+	A, B Point
+}
+
+// Len returns the length of the segment.
+func (s Segment) Len() float64 { return s.A.Dist(s.B) }
+
+// Mid returns the midpoint of the segment.
+func (s Segment) Mid() Point { return s.A.Mid(s.B) }
+
+// At returns the point a fraction t of the way from A to B.
+func (s Segment) At(t float64) Point { return s.A.Lerp(s.B, t) }
+
+// ClosestPoint returns the point of the segment closest to p.
+func (s Segment) ClosestPoint(p Point) Point {
+	t := LineThrough(s.A, s.B).Project(p)
+	if t < 0 {
+		t = 0
+	} else if t > 1 {
+		t = 1
+	}
+	return s.At(t)
+}
+
+// Dist returns the distance from p to the segment.
+func (s Segment) Dist(p Point) float64 { return p.Dist(s.ClosestPoint(p)) }
+
+// Contains reports whether p lies on the segment within Eps.
+func (s Segment) Contains(p Point) bool { return s.Dist(p) <= Eps }
+
+// HalfPlane is the closed set of points on the non-negative side of a
+// directed line: {p : Line.Side(p) >= 0}, i.e. the left side.
+type HalfPlane struct {
+	Boundary Line
+}
+
+// Contains reports whether p is inside the half-plane (boundary
+// included).
+func (h HalfPlane) Contains(p Point) bool { return h.Boundary.Side(p) >= 0 }
+
+// signedDist returns the signed distance from p to the boundary,
+// positive inside the half-plane.
+func (h HalfPlane) signedDist(p Point) float64 {
+	d := h.Boundary.Dir.Unit()
+	return d.Cross(p.Sub(h.Boundary.Origin))
+}

@@ -1,0 +1,210 @@
+package geom
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestLineProject(t *testing.T) {
+	l := LineThrough(Pt(0, 0), Pt(10, 0))
+	tests := []struct {
+		name string
+		p    Point
+		want Point
+	}{
+		{"above origin", Pt(0, 5), Pt(0, 0)},
+		{"above middle", Pt(5, 3), Pt(5, 0)},
+		{"beyond end", Pt(20, -2), Pt(20, 0)},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := l.ClosestPoint(tt.p); !got.Eq(tt.want) {
+				t.Errorf("ClosestPoint = %v, want %v", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestLineSide(t *testing.T) {
+	l := LineThrough(Pt(0, 0), Pt(1, 0)) // pointing +x, left side is +y
+	tests := []struct {
+		name string
+		p    Point
+		want int
+	}{
+		{"left", Pt(0, 1), 1},
+		{"right", Pt(0, -1), -1},
+		{"on", Pt(5, 0), 0},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := l.Side(tt.p); got != tt.want {
+				t.Errorf("Side(%v) = %d, want %d", tt.p, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestLineIntersect(t *testing.T) {
+	l := LineThrough(Pt(0, 0), Pt(1, 1))
+	m := LineThrough(Pt(0, 2), Pt(1, 1))
+	p, ok := l.Intersect(m)
+	if !ok {
+		t.Fatal("expected intersection")
+	}
+	if !p.Eq(Pt(1, 1)) {
+		t.Errorf("Intersect = %v, want (1,1)", p)
+	}
+	// Parallel lines do not intersect.
+	if _, ok := l.Intersect(LineThrough(Pt(0, 1), Pt(1, 2))); ok {
+		t.Error("parallel lines reported as intersecting")
+	}
+}
+
+func TestPerpBisector(t *testing.T) {
+	a, b := Pt(0, 0), Pt(4, 0)
+	l := PerpBisector(a, b)
+	if l.Side(a) <= 0 {
+		t.Error("a must be strictly on the left of its bisector")
+	}
+	if l.Side(b) >= 0 {
+		t.Error("b must be strictly on the right of its bisector")
+	}
+	if !ApproxEq(l.Dist(a), l.Dist(b)) {
+		t.Error("bisector must be equidistant from a and b")
+	}
+	if !l.ClosestPoint(a).Eq(a.Mid(b)) {
+		t.Error("projection of a onto the bisector must be the midpoint")
+	}
+}
+
+// Property: for any two distinct points, every point of the bisector is
+// equidistant from them, and each endpoint is on its designated side.
+func TestPerpBisectorProperty(t *testing.T) {
+	f := func(ax, ay, bx, by, tpar float64) bool {
+		a := Pt(clampCoord(ax), clampCoord(ay))
+		b := Pt(clampCoord(bx), clampCoord(by))
+		if a.Dist(b) < 1e-3 {
+			return true // degenerate, skip
+		}
+		l := PerpBisector(a, b)
+		if l.Side(a) <= 0 || l.Side(b) >= 0 {
+			return false
+		}
+		p := l.At(math.Mod(tpar, 10))
+		return math.Abs(p.Dist(a)-p.Dist(b)) <= 1e-6*(1+p.Dist(a))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSegment(t *testing.T) {
+	s := Segment{A: Pt(0, 0), B: Pt(10, 0)}
+	if !ApproxEq(s.Len(), 10) {
+		t.Errorf("Len = %v, want 10", s.Len())
+	}
+	if !s.Mid().Eq(Pt(5, 0)) {
+		t.Errorf("Mid = %v, want (5,0)", s.Mid())
+	}
+	tests := []struct {
+		name string
+		p    Point
+		want Point
+	}{
+		{"interior projection", Pt(3, 4), Pt(3, 0)},
+		{"clamped to A", Pt(-5, 2), Pt(0, 0)},
+		{"clamped to B", Pt(15, 2), Pt(10, 0)},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := s.ClosestPoint(tt.p); !got.Eq(tt.want) {
+				t.Errorf("ClosestPoint(%v) = %v, want %v", tt.p, got, tt.want)
+			}
+		})
+	}
+	if !s.Contains(Pt(5, 0)) {
+		t.Error("segment should contain its midpoint")
+	}
+	if s.Contains(Pt(5, 1)) {
+		t.Error("segment should not contain an off-segment point")
+	}
+}
+
+func TestHalfPlane(t *testing.T) {
+	h := HalfPlane{Boundary: LineThrough(Pt(0, 0), Pt(1, 0))}
+	if !h.Contains(Pt(0, 5)) {
+		t.Error("left point should be inside")
+	}
+	if !h.Contains(Pt(3, 0)) {
+		t.Error("boundary point should be inside")
+	}
+	if h.Contains(Pt(0, -5)) {
+		t.Error("right point should be outside")
+	}
+}
+
+func TestCircle(t *testing.T) {
+	c := Circle{Center: Pt(0, 0), R: 5}
+	if !c.Contains(Pt(3, 4)) {
+		t.Error("boundary point should be contained")
+	}
+	if !c.OnBoundary(Pt(3, 4)) {
+		t.Error("(3,4) should be on the boundary of radius-5 circle")
+	}
+	if !c.StrictlyInside(Pt(1, 1)) {
+		t.Error("(1,1) should be strictly inside")
+	}
+	if c.Contains(Pt(4, 4)) {
+		t.Error("(4,4) should be outside")
+	}
+	p := c.PointAt(math.Pi / 2)
+	if !p.Eq(Pt(0, 5)) {
+		t.Errorf("PointAt(pi/2) = %v, want (0,5)", p)
+	}
+}
+
+func TestCircleFrom2(t *testing.T) {
+	c := CircleFrom2(Pt(0, 0), Pt(4, 0))
+	if !c.Center.Eq(Pt(2, 0)) || !ApproxEq(c.R, 2) {
+		t.Errorf("CircleFrom2 = %+v, want center (2,0) r 2", c)
+	}
+}
+
+func TestCircleFrom3(t *testing.T) {
+	c, ok := CircleFrom3(Pt(1, 0), Pt(-1, 0), Pt(0, 1))
+	if !ok {
+		t.Fatal("expected a circumcircle")
+	}
+	if !c.Center.Eq(Pt(0, 0)) || !ApproxEq(c.R, 1) {
+		t.Errorf("CircleFrom3 = %+v, want unit circle", c)
+	}
+	if _, ok := CircleFrom3(Pt(0, 0), Pt(1, 1), Pt(2, 2)); ok {
+		t.Error("collinear points must not have a circumcircle")
+	}
+}
+
+// Property: the circumcircle of three non-collinear points passes through
+// all three.
+func TestCircleFrom3Property(t *testing.T) {
+	f := func(ax, ay, bx, by, cx, cy float64) bool {
+		a := Pt(clampCoord(ax), clampCoord(ay))
+		b := Pt(clampCoord(bx), clampCoord(by))
+		c := Pt(clampCoord(cx), clampCoord(cy))
+		if Collinear(a, b, c) || a.Dist(b) < 1e-3 || b.Dist(c) < 1e-3 || a.Dist(c) < 1e-3 {
+			return true
+		}
+		cc, ok := CircleFrom3(a, b, c)
+		if !ok {
+			return true // near-degenerate; the predicate may reject it
+		}
+		tol := 1e-5 * (1 + cc.R)
+		return math.Abs(cc.Center.Dist(a)-cc.R) <= tol &&
+			math.Abs(cc.Center.Dist(b)-cc.R) <= tol &&
+			math.Abs(cc.Center.Dist(c)-cc.R) <= tol
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

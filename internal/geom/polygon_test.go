@@ -1,0 +1,156 @@
+package geom
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestBox(t *testing.T) {
+	b := Box(0, 0, 4, 2)
+	if b.Len() != 4 {
+		t.Fatalf("Box has %d vertices, want 4", b.Len())
+	}
+	if !ApproxEq(b.Area(), 8) {
+		t.Errorf("Area = %v, want 8", b.Area())
+	}
+	if !b.Contains(Pt(1, 1)) {
+		t.Error("interior point should be contained")
+	}
+	if !b.Contains(Pt(0, 0)) {
+		t.Error("corner should be contained")
+	}
+	if b.Contains(Pt(5, 1)) {
+		t.Error("exterior point should not be contained")
+	}
+}
+
+func TestClipKeepsHalf(t *testing.T) {
+	b := Box(0, 0, 2, 2)
+	// Keep the left half: boundary x = 1 pointing +y keeps x <= 1.
+	h := HalfPlane{Boundary: LineThrough(Pt(1, 0), Pt(1, 1))}
+	got := b.Clip(h)
+	if got.Empty() {
+		t.Fatal("clip should not be empty")
+	}
+	if !ApproxEq(got.Area(), 2) {
+		t.Errorf("clipped area = %v, want 2", got.Area())
+	}
+	if !got.Contains(Pt(0.5, 1)) || got.Contains(Pt(1.5, 1)) {
+		t.Error("clip kept the wrong half")
+	}
+}
+
+func TestClipAllOrNothing(t *testing.T) {
+	b := Box(0, 0, 2, 2)
+	// Half-plane containing the whole box.
+	all := HalfPlane{Boundary: LineThrough(Pt(-10, 0), Pt(-10, 1))}
+	// Wait: boundary x=-10 pointing +y keeps x <= -10 (left of upward line
+	// is -x side). Flip direction to keep x >= -10.
+	all = HalfPlane{Boundary: LineThrough(Pt(-10, 1), Pt(-10, 0))}
+	got := b.Clip(all)
+	if !ApproxEq(got.Area(), 4) {
+		t.Errorf("clip by containing half-plane: area = %v, want 4", got.Area())
+	}
+	none := HalfPlane{Boundary: LineThrough(Pt(-10, 0), Pt(-10, 1))}
+	if got := b.Clip(none); !got.Empty() {
+		t.Errorf("clip by disjoint half-plane should be empty, got area %v", got.Area())
+	}
+}
+
+func TestClipCorner(t *testing.T) {
+	b := Box(0, 0, 2, 2)
+	// Diagonal cut keeping the lower-left triangle x+y <= 2:
+	// line from (2,0) to (0,2), left side is the origin side.
+	h := HalfPlane{Boundary: LineThrough(Pt(2, 0), Pt(0, 2))}
+	got := b.Clip(h)
+	if !ApproxEq(got.Area(), 2) {
+		t.Errorf("triangle area = %v, want 2", got.Area())
+	}
+	if !got.Contains(Pt(0.1, 0.1)) || got.Contains(Pt(1.9, 1.9)) {
+		t.Error("diagonal clip kept the wrong side")
+	}
+}
+
+func TestDistToBoundary(t *testing.T) {
+	b := Box(0, 0, 4, 4)
+	tests := []struct {
+		name string
+		p    Point
+		want float64
+	}{
+		{"center", Pt(2, 2), 2},
+		{"near left edge", Pt(1, 2), 1},
+		{"near corner", Pt(0.5, 0.25), 0.25},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := b.DistToBoundary(tt.p); !ApproxEq(got, tt.want) {
+				t.Errorf("DistToBoundary(%v) = %v, want %v", tt.p, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestPolygonVerticesCopied(t *testing.T) {
+	src := []Point{Pt(0, 0), Pt(1, 0), Pt(0, 1)}
+	pg := NewPolygon(src)
+	src[0] = Pt(99, 99)
+	if pg.Vertices()[0].Eq(Pt(99, 99)) {
+		t.Error("NewPolygon must copy its input")
+	}
+	vs := pg.Vertices()
+	vs[0] = Pt(-1, -1)
+	if pg.Vertices()[0].Eq(Pt(-1, -1)) {
+		t.Error("Vertices must return a copy")
+	}
+}
+
+// Property: clipping never increases area, and the clipped polygon is
+// contained in both the original polygon and the half-plane.
+func TestClipPropertyMonotone(t *testing.T) {
+	f := func(ox, oy, dx, dy float64) bool {
+		b := Box(-10, -10, 10, 10)
+		dir := V(clampCoord(dx), clampCoord(dy))
+		if dir.Len() < 1e-3 {
+			return true
+		}
+		h := HalfPlane{Boundary: Line{
+			Origin: Pt(math.Mod(clampCoord(ox), 15), math.Mod(clampCoord(oy), 15)),
+			Dir:    dir,
+		}}
+		got := b.Clip(h)
+		if got.Area() > b.Area()+1e-6 {
+			return false
+		}
+		if got.Empty() {
+			return true
+		}
+		c := got.Centroid()
+		return b.Contains(c) && h.Contains(c)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: sequential clipping is order-independent for the resulting
+// area (intersection is commutative).
+func TestClipPropertyCommutative(t *testing.T) {
+	f := func(a1, a2 float64) bool {
+		b := Box(-5, -5, 5, 5)
+		t1 := math.Mod(clampCoord(a1), 2*math.Pi)
+		t2 := math.Mod(clampCoord(a2), 2*math.Pi)
+		h1 := HalfPlane{Boundary: Line{Origin: Pt(1, 0), Dir: V(math.Cos(t1), math.Sin(t1))}}
+		h2 := HalfPlane{Boundary: Line{Origin: Pt(0, 1), Dir: V(math.Cos(t2), math.Sin(t2))}}
+		if h1.Boundary.Dir.Len() < 1e-6 || h2.Boundary.Dir.Len() < 1e-6 {
+			return true
+		}
+		x := b.Clip(h1).Clip(h2).Area()
+		y := b.Clip(h2).Clip(h1).Area()
+		return math.Abs(x-y) <= 1e-6*(1+x+y)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,54 @@
+package naming
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"waggle/internal/geom"
+	"waggle/internal/sec"
+)
+
+func benchPoints(n int) []geom.Point {
+	rng := rand.New(rand.NewSource(1))
+	pts := make([]geom.Point, n)
+	for i := range pts {
+		pts[i] = geom.Pt(rng.Float64()*1000, rng.Float64()*1000)
+	}
+	return pts
+}
+
+func BenchmarkLexLabels(b *testing.B) {
+	pts := benchPoints(64)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		LexLabels(pts)
+	}
+}
+
+func BenchmarkSECLabels(b *testing.B) {
+	for _, n := range []int{16, 64, 256} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			pts := benchPoints(n)
+			circle, err := sec.Enclosing(pts)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := SECLabels(pts, i%n, circle); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkRotationalSymmetryOrder(b *testing.B) {
+	pts := Fig3Configuration()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		RotationalSymmetryOrder(pts)
+	}
+}

@@ -1,0 +1,26 @@
+package naming
+
+import "waggle/internal/geom"
+
+// Fig3Configuration returns the paper's Figure 3 scenario: six robots
+// placed with 2-fold rotational symmetry about the origin, so that for
+// every robot there is another robot with an identical view. In this
+// configuration anonymous robots with chirality but without sense of
+// direction cannot deterministically agree on a common direction or a
+// common global naming — which is exactly why §3.4 builds a *relative*
+// naming instead.
+func Fig3Configuration() []geom.Point {
+	half := []geom.Point{
+		geom.Pt(3, 1),
+		geom.Pt(1, 4),
+		geom.Pt(-2, 2),
+	}
+	pts := make([]geom.Point, 0, 2*len(half))
+	for _, p := range half {
+		pts = append(pts, p)
+	}
+	for _, p := range half {
+		pts = append(pts, geom.Pt(-p.X, -p.Y))
+	}
+	return pts
+}

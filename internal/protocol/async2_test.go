@@ -1,0 +1,229 @@
+package protocol
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"waggle/internal/geom"
+	"waggle/internal/sim"
+)
+
+func buildAsync2World(t *testing.T, cfg Async2Config, frames [2]geom.Frame, sep float64) (*sim.World, []*Endpoint) {
+	t.Helper()
+	behaviors, endpoints, err := NewAsync2(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	robots := make([]*sim.Robot, 2)
+	for i := range robots {
+		robots[i] = &sim.Robot{Frame: frames[i], Sigma: 1e9, Behavior: behaviors[i]}
+	}
+	w, err := sim.NewWorld(sim.Config{
+		Positions:   []geom.Point{geom.Pt(0, 0), geom.Pt(sep, 0)},
+		Robots:      robots,
+		RecordTrace: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w, endpoints
+}
+
+// asyncSchedulers enumerates the scheduler family every asynchronous
+// test must survive.
+func asyncSchedulers() map[string]func() sim.Scheduler {
+	return map[string]func() sim.Scheduler{
+		"round-robin":   func() sim.Scheduler { return sim.FirstSync{Inner: sim.RoundRobin{}} },
+		"alternator":    func() sim.Scheduler { return sim.FirstSync{Inner: sim.Alternator{}} },
+		"random-fair-1": func() sim.Scheduler { return sim.FirstSync{Inner: sim.NewRandomFair(1)} },
+		"random-fair-2": func() sim.Scheduler { return sim.FirstSync{Inner: sim.NewRandomFair(99)} },
+		"starve-0":      func() sim.Scheduler { return sim.FirstSync{Inner: sim.Starver{Victim: 0, Delay: 7}} },
+		"starve-1":      func() sim.Scheduler { return sim.FirstSync{Inner: sim.Starver{Victim: 1, Delay: 7}} },
+		"synchronous":   func() sim.Scheduler { return sim.Synchronous{} },
+	}
+}
+
+func TestAsync2DeliveryUnderEverySchedulerFamily(t *testing.T) {
+	for name, mk := range asyncSchedulers() {
+		t.Run(name, func(t *testing.T) {
+			w, eps := buildAsync2World(t, Async2Config{}, worldFrames(), 10)
+			want := []byte("ASYNC")
+			if err := eps[0].Send(1, want); err != nil {
+				t.Fatal(err)
+			}
+			got := runUntilDelivered(t, w, mk(), eps, 1, 200_000)
+			if got[0].From != 0 || got[0].To != 1 || !bytes.Equal(got[0].Payload, want) {
+				t.Errorf("received %+v, want ASYNC from 0", got[0])
+			}
+		})
+	}
+}
+
+func TestAsync2FullDuplex(t *testing.T) {
+	w, eps := buildAsync2World(t, Async2Config{}, worldFrames(), 10)
+	if err := eps[0].Send(1, []byte("PING")); err != nil {
+		t.Fatal(err)
+	}
+	if err := eps[1].Send(0, []byte("PONG")); err != nil {
+		t.Fatal(err)
+	}
+	got := runUntilDelivered(t, w, sim.FirstSync{Inner: sim.NewRandomFair(5)}, eps, 2, 200_000)
+	byTo := map[int][]byte{}
+	for _, r := range got {
+		byTo[r.To] = r.Payload
+	}
+	if !bytes.Equal(byTo[1], []byte("PING")) || !bytes.Equal(byTo[0], []byte("PONG")) {
+		t.Errorf("exchange wrong: %v", byTo)
+	}
+}
+
+func TestAsync2ArbitraryFrames(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	for trial := 0; trial < 6; trial++ {
+		for _, hand := range []geom.Handedness{geom.RightHanded, geom.LeftHanded} {
+			w, eps := buildAsync2World(t, Async2Config{}, randomFrames(rng, hand), 4+rng.Float64()*40)
+			want := []byte{0x5A, byte(trial)}
+			if err := eps[1].Send(0, want); err != nil {
+				t.Fatal(err)
+			}
+			got := runUntilDelivered(t, w, sim.FirstSync{Inner: sim.NewRandomFair(int64(trial))}, eps, 1, 200_000)
+			if !bytes.Equal(got[0].Payload, want) {
+				t.Fatalf("trial %d hand %v: got %v, want %v", trial, hand, got[0].Payload, want)
+			}
+		}
+	}
+}
+
+func TestAsync2BackToBackMessages(t *testing.T) {
+	w, eps := buildAsync2World(t, Async2Config{}, worldFrames(), 10)
+	msgs := [][]byte{[]byte("A"), []byte("A"), []byte("zz")} // repeated payloads stress separators
+	for _, m := range msgs {
+		if err := eps[0].Send(1, m); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := runUntilDelivered(t, w, sim.FirstSync{Inner: sim.NewRandomFair(77)}, eps, len(msgs), 400_000)
+	for i, m := range msgs {
+		if !bytes.Equal(got[i].Payload, m) {
+			t.Errorf("message %d = %q, want %q", i, got[i].Payload, m)
+		}
+	}
+}
+
+// TestAsync2NeverSilent verifies Remark 4.3: in the asynchronous
+// protocol every activated robot moves, even with nothing to send —
+// experiment C5's negative half.
+func TestAsync2NeverSilent(t *testing.T) {
+	w, _ := buildAsync2World(t, Async2Config{}, worldFrames(), 10)
+	sched := sim.FirstSync{Inner: sim.NewRandomFair(3)}
+	for i := 0; i < 500; i++ {
+		if _, err := w.Step(sched); err != nil {
+			t.Fatal(err)
+		}
+	}
+	tr := w.Trace()
+	for robot := 0; robot < 2; robot++ {
+		activations := 0
+		for _, s := range tr.Steps() {
+			for _, a := range s.Active {
+				if a == robot {
+					activations++
+				}
+			}
+		}
+		moves := tr.NonTrivialMoves(robot, 1e-12)
+		if moves < activations {
+			t.Errorf("robot %d: %d non-trivial moves over %d activations (must move whenever active)",
+				robot, moves, activations)
+		}
+	}
+}
+
+// TestAsync2DriftAwayGrowsSeparation reproduces the §4.1 drawback: the
+// base protocol makes the robots drift apart forever (experiment C6).
+func TestAsync2DriftAwayGrowsSeparation(t *testing.T) {
+	w, eps := buildAsync2World(t, Async2Config{Drift: DriftAway}, worldFrames(), 10)
+	if err := eps[0].Send(1, []byte("DRIFT")); err != nil {
+		t.Fatal(err)
+	}
+	runUntilDelivered(t, w, sim.FirstSync{Inner: sim.NewRandomFair(9)}, eps, 1, 200_000)
+	if sep := w.Position(0).Dist(w.Position(1)); sep < 20 {
+		t.Errorf("separation %v after delivery; DriftAway should have grown it well beyond 10", sep)
+	}
+}
+
+// TestAsync2AlternateBoundsSeparation verifies the §4.1 variant keeps
+// the robots near their initial separation.
+func TestAsync2AlternateBoundsSeparation(t *testing.T) {
+	w, eps := buildAsync2World(t, Async2Config{Drift: DriftAlternate}, worldFrames(), 10)
+	if err := eps[0].Send(1, []byte("NEAR")); err != nil {
+		t.Fatal(err)
+	}
+	got := runUntilDelivered(t, w, sim.FirstSync{Inner: sim.NewRandomFair(13)}, eps, 1, 400_000)
+	if !bytes.Equal(got[0].Payload, []byte("NEAR")) {
+		t.Fatalf("wrong payload %q", got[0].Payload)
+	}
+	sep := w.Position(0).Dist(w.Position(1))
+	if sep < 5 || sep > 15 {
+		t.Errorf("separation %v drifted far from the initial 10", sep)
+	}
+	// And no collision ever happened.
+	if d := w.Trace().MinPairwiseDistance(); d < 1 {
+		t.Errorf("robots nearly collided: min distance %v", d)
+	}
+}
+
+// TestAsync2Lemma41 is experiment C1: a direct property test of the
+// paper's Lemma 4.1. Whenever a sender concludes an excursion (it
+// observed the peer change twice), the peer must have observed the
+// sender off the horizon line during that excursion. We verify the
+// downstream consequence — every transmitted bit is eventually decoded,
+// exactly once, under adversarial schedulers — plus the trace-level
+// claim itself.
+func TestAsync2Lemma41(t *testing.T) {
+	for seed := int64(0); seed < 8; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		payload := make([]byte, 1+rng.Intn(6))
+		rng.Read(payload)
+		w, eps := buildAsync2World(t, Async2Config{}, worldFrames(), 10)
+		if err := eps[0].Send(1, payload); err != nil {
+			t.Fatal(err)
+		}
+		inner := sim.Scheduler(sim.NewRandomFair(seed))
+		if seed%2 == 0 {
+			inner = sim.Starver{Victim: int(seed/2) % 2, Delay: 5 + int(seed)}
+		}
+		got := runUntilDelivered(t, w, sim.FirstSync{Inner: inner}, eps, 1, 400_000)
+		if !bytes.Equal(got[0].Payload, payload) {
+			t.Fatalf("seed %d: payload corrupted: got %v want %v", seed, got[0].Payload, payload)
+		}
+	}
+}
+
+func TestNewAsync2Validation(t *testing.T) {
+	if _, _, err := NewAsync2(Async2Config{StepFrac: 0.9}); err == nil {
+		t.Error("step fraction >= 0.5 accepted")
+	}
+	if _, _, err := NewAsync2(Async2Config{Drift: DriftAlternate, StepDivisor: 0.5}); err == nil {
+		t.Error("step divisor <= 1 accepted")
+	}
+}
+
+// TestAsync2LongMessage pushes a larger payload through to exercise the
+// framing across many excursions.
+func TestAsync2LongMessage(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long message")
+	}
+	w, eps := buildAsync2World(t, Async2Config{}, worldFrames(), 10)
+	want := []byte(fmt.Sprintf("%064d", 42))
+	if err := eps[0].Send(1, want); err != nil {
+		t.Fatal(err)
+	}
+	got := runUntilDelivered(t, w, sim.FirstSync{Inner: sim.NewRandomFair(1)}, eps, 1, 2_000_000)
+	if !bytes.Equal(got[0].Payload, want) {
+		t.Errorf("long message corrupted")
+	}
+}

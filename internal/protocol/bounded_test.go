@@ -1,0 +1,184 @@
+package protocol
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"waggle/internal/encoding"
+	"waggle/internal/geom"
+	"waggle/internal/sim"
+)
+
+func buildBoundedWorld(t *testing.T, positions []geom.Point, frames []geom.Frame, k int, cfg AsyncNConfig) (*sim.World, []*Endpoint) {
+	t.Helper()
+	n := len(positions)
+	behaviors, endpoints, err := NewAsyncBounded(n, k, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	robots := make([]*sim.Robot, n)
+	for i := range robots {
+		robots[i] = &sim.Robot{Frame: frames[i], Sigma: 1e9, Behavior: behaviors[i]}
+	}
+	w, err := sim.NewWorld(sim.Config{Positions: positions, Robots: robots, RecordTrace: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w, endpoints
+}
+
+func TestBoundedDelivery(t *testing.T) {
+	rng := rand.New(rand.NewSource(67))
+	positions := randomPositions(rng, 9, 6)
+	for _, k := range []int{2, 3, 4} {
+		frames := frameSet(rng, 9, false, geom.RightHanded)
+		w, eps := buildBoundedWorld(t, positions, frames, k, AsyncNConfig{})
+		want := []byte{0x37}
+		if err := eps[2].Send(7, want); err != nil {
+			t.Fatal(err)
+		}
+		got := runUntilDelivered(t, w, sim.FirstSync{Inner: sim.NewRandomFair(int64(k))}, eps, 1, 2_000_000)
+		if got[0].From != 2 || got[0].To != 7 || !bytes.Equal(got[0].Payload, want) {
+			t.Errorf("k=%d: received %+v", k, got[0])
+		}
+	}
+}
+
+func TestBoundedSequentialMessagesDifferentRecipients(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	positions := randomPositions(rng, 6, 8)
+	frames := frameSet(rng, 6, false, geom.RightHanded)
+	w, eps := buildBoundedWorld(t, positions, frames, 2, AsyncNConfig{})
+	if err := eps[0].Send(3, []byte("X")); err != nil {
+		t.Fatal(err)
+	}
+	if err := eps[0].Send(5, []byte("Y")); err != nil {
+		t.Fatal(err)
+	}
+	got := runUntilDelivered(t, w, sim.FirstSync{Inner: sim.NewRandomFair(5)}, eps, 2, 4_000_000)
+	byTo := map[int]string{}
+	for _, r := range got {
+		byTo[r.To] = string(r.Payload)
+	}
+	if byTo[3] != "X" || byTo[5] != "Y" {
+		t.Errorf("sequential recipients wrong: %v", byTo)
+	}
+}
+
+// TestBoundedPreludeCost verifies the §5 accounting: the bounded coder
+// spends IndexCodeLen(n, k) extra excursions per message compared with
+// the direct coder.
+func TestBoundedPreludeCost(t *testing.T) {
+	rng := rand.New(rand.NewSource(73))
+	positions := randomPositions(rng, 8, 6)
+	msg := []byte("C")
+	frameBits := 16 + 8*len(msg)
+
+	countExcursions := func(bounded bool, k int) int {
+		frames := frameSet(rng, 8, false, geom.RightHanded)
+		var w *sim.World
+		var eps []*Endpoint
+		if bounded {
+			w, eps = buildBoundedWorld(t, positions, frames, k, AsyncNConfig{})
+		} else {
+			w, eps = buildAsyncNWorld(t, positions, frames, AsyncNConfig{})
+		}
+		if err := eps[0].Send(6, msg); err != nil {
+			t.Fatal(err)
+		}
+		runUntilDelivered(t, w, sim.FirstSync{Inner: sim.NewRandomFair(7)}, eps, 1, 4_000_000)
+		return eps[0].SentBits()
+	}
+
+	direct := countExcursions(false, 0)
+	if direct != frameBits {
+		t.Errorf("direct excursions = %d, want %d", direct, frameBits)
+	}
+	for _, k := range []int{2, 4} {
+		got := countExcursions(true, k)
+		want := frameBits + encoding.IndexCodeLen(8, k)
+		if got != want {
+			t.Errorf("k=%d: excursions = %d, want %d", k, got, want)
+		}
+	}
+}
+
+// TestDirectionResolutionMotivatesBoundedSlices is the §5 round-off
+// scenario (experiment C9): with a coarse direction sensor the direct
+// protocol misroutes on some channels while the bounded variant, which
+// needs only 2(k+2) distinguishable directions, keeps working.
+func TestDirectionResolutionMotivatesBoundedSlices(t *testing.T) {
+	rng := rand.New(rand.NewSource(101))
+	n := 16
+	positions := randomPositions(rng, n, 6)
+	const directions = 16 // far below the 2(n+1)=34 the direct protocol needs
+
+	probe := func(bounded bool, to int, seed int64) bool {
+		cfg := AsyncNConfig{DirectionResolution: directions}
+		var (
+			behaviors []sim.Behavior
+			eps       []*Endpoint
+			err       error
+		)
+		if bounded {
+			behaviors, eps, err = NewAsyncBounded(n, 2, cfg)
+		} else {
+			behaviors, eps, err = NewAsyncN(n, cfg)
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		frames := frameSet(rand.New(rand.NewSource(seed)), n, false, geom.RightHanded)
+		robots := make([]*sim.Robot, n)
+		for i := range robots {
+			robots[i] = &sim.Robot{Frame: frames[i], Sigma: 1e9, Behavior: behaviors[i]}
+		}
+		w, err := sim.NewWorld(sim.Config{Positions: positions, Robots: robots})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := eps[0].Send(to, []byte{0x77}); err != nil {
+			t.Fatal(err)
+		}
+		delivered := false
+		if _, _, err := w.Run(sim.FirstSync{Inner: sim.NewRandomFair(seed)}, 40_000, func(*sim.World) bool {
+			for _, r := range eps[to].Receive() {
+				if r.From == 0 && len(r.Payload) == 1 && r.Payload[0] == 0x77 {
+					delivered = true
+				}
+			}
+			return delivered
+		}); err != nil {
+			t.Fatal(err)
+		}
+		return delivered
+	}
+
+	directFailures, boundedFailures := 0, 0
+	for trial := 0; trial < 5; trial++ {
+		to := 1 + trial*3%(n-1)
+		if !probe(false, to, int64(trial)) {
+			directFailures++
+		}
+		if !probe(true, to, int64(trial)) {
+			boundedFailures++
+		}
+	}
+	if directFailures == 0 {
+		t.Error("direct protocol survived a 16-direction sensor on every channel; " +
+			"the §5 motivation should bite here")
+	}
+	if boundedFailures != 0 {
+		t.Errorf("bounded variant failed on %d channels despite needing only 8 directions", boundedFailures)
+	}
+}
+
+func TestNewAsyncBoundedValidation(t *testing.T) {
+	if _, _, err := NewAsyncBounded(4, 1, AsyncNConfig{}); err == nil {
+		t.Error("base 1 accepted")
+	}
+	if _, _, err := NewAsyncBounded(1, 2, AsyncNConfig{}); err == nil {
+		t.Error("n=1 accepted")
+	}
+}

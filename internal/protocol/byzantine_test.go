@@ -1,0 +1,119 @@
+package protocol
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"waggle/internal/geom"
+	"waggle/internal/sim"
+)
+
+// crazyWalk is a robot that ignores the protocol entirely and random
+// walks inside its granular — movement noise rather than Byzantine
+// intent, but from the decoders' perspective the same thing: arbitrary
+// excursions that look like signal.
+func crazyWalk(rng *rand.Rand, radiusFrac float64) sim.Behavior {
+	var offset geom.Vec
+	ready := false
+	var radius float64
+	return sim.BehaviorFunc(func(v sim.View) geom.Point {
+		if !ready {
+			ready = true
+			best := -1.0
+			for j, p := range v.Points {
+				if j == v.Self {
+					continue
+				}
+				if d := p.Sub(v.Points[v.Self]).Len(); best < 0 || d < best {
+					best = d
+				}
+			}
+			radius = best / 2 * radiusFrac
+		}
+		// Jump to a fresh random point inside the granular.
+		theta := rng.Float64() * 2 * 3.141592653589793
+		r := rng.Float64() * radius
+		target := geom.V(r, 0).Rotate(theta)
+		delta := target.Sub(offset)
+		offset = target
+		return geom.Point{X: delta.X, Y: delta.Y}
+	})
+}
+
+// TestProtocolsTolerateMovementNoise: one robot moves arbitrarily; the
+// channels between protocol-following robots must still deliver
+// correctly (each sender's granular is its own channel — noise from one
+// robot cannot alter another's movements). Junk decoded "from" the
+// noisy robot is acceptable; corruption of the clean channel is not.
+func TestProtocolsTolerateMovementNoise(t *testing.T) {
+	rng := rand.New(rand.NewSource(151))
+	n := 5
+	positions := randomPositions(rng, n, 8)
+	const noisy = 3
+
+	scenarios := []struct {
+		name  string
+		sync  bool
+		sched func() sim.Scheduler
+	}{
+		{"sync", true, func() sim.Scheduler { return sim.Synchronous{} }},
+		{"async", false, func() sim.Scheduler { return sim.FirstSync{Inner: sim.NewRandomFair(5)} }},
+	}
+	for _, sc := range scenarios {
+		t.Run(sc.name, func(t *testing.T) {
+			var (
+				behaviors []sim.Behavior
+				eps       []*Endpoint
+				err       error
+			)
+			if sc.sync {
+				behaviors, eps, err = NewSyncN(n, SyncNConfig{Naming: NamingSEC})
+			} else {
+				behaviors, eps, err = NewAsyncN(n, AsyncNConfig{Naming: NamingSEC})
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			frames := frameSet(rng, n, false, geom.RightHanded)
+			robots := make([]*sim.Robot, n)
+			for i := range robots {
+				b := behaviors[i]
+				if i == noisy {
+					b = crazyWalk(rand.New(rand.NewSource(9)), 0.9)
+				}
+				robots[i] = &sim.Robot{Frame: frames[i], Sigma: 1e9, Behavior: b}
+			}
+			w, err := sim.NewWorld(sim.Config{Positions: positions, Robots: robots})
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := []byte("CLEAN")
+			if err := eps[0].Send(2, want); err != nil {
+				t.Fatal(err)
+			}
+			var clean []Received
+			sawJunk := false
+			_, ok, err := w.Run(sc.sched(), 2_000_000, func(*sim.World) bool {
+				for _, r := range eps[2].Receive() {
+					if r.From == noisy {
+						sawJunk = true // expected: the noisy robot "says" garbage
+						continue
+					}
+					clean = append(clean, r)
+				}
+				return len(clean) > 0
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !ok {
+				t.Fatal("clean channel starved by movement noise")
+			}
+			if clean[0].From != 0 || clean[0].To != 2 || !bytes.Equal(clean[0].Payload, want) {
+				t.Errorf("clean channel corrupted: %+v", clean[0])
+			}
+			_ = sawJunk // junk may or may not frame-align; either is fine
+		})
+	}
+}

@@ -1,0 +1,37 @@
+package protocol
+
+import (
+	"waggle/internal/geom"
+	"waggle/internal/sim"
+)
+
+// Flocked wraps a synchronous communication behavior so the whole swarm
+// drifts while chatting — the §5 remark: "the robots may decide to flock
+// in a certain direction, subtracting the agreed upon global flocking
+// movement in order to preserve the relative movements used for
+// communication."
+//
+// Every robot adds the agreed per-step flock displacement to whatever
+// its protocol behavior commands. Under a synchronous scheduler all
+// robots accumulate identical drift, so egocentric views — which only
+// expose relative positions — are untouched by the flocking and the
+// inner protocol runs unmodified. The wrapper is only sound when all
+// robots are activated equally often (synchronous schedulers); under
+// partial activation the drifts diverge and relative geometry is
+// destroyed.
+type Flocked struct {
+	// Inner is the communication behavior being carried along.
+	Inner sim.Behavior
+	// Drift is the per-activation flock displacement in this robot's
+	// local frame. All robots' vectors must denote the same world
+	// displacement (the facade derives them from one world vector).
+	Drift geom.Vec
+}
+
+var _ sim.Behavior = (*Flocked)(nil)
+
+// Step implements sim.Behavior.
+func (f *Flocked) Step(view sim.View) geom.Point {
+	dest := f.Inner.Step(view)
+	return dest.Add(f.Drift)
+}

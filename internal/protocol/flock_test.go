@@ -1,0 +1,95 @@
+package protocol
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"waggle/internal/geom"
+	"waggle/internal/sim"
+)
+
+func TestFlockedSwarmStillCommunicates(t *testing.T) {
+	rng := rand.New(rand.NewSource(83))
+	n := 6
+	positions := randomPositions(rng, n, 6)
+	frames := frameSet(rng, n, false, geom.RightHanded)
+	behaviors, eps, err := NewSyncN(n, SyncNConfig{Naming: NamingSEC})
+	if err != nil {
+		t.Fatal(err)
+	}
+	flockWorld := geom.V(0.3, 0.2) // agreed world drift per step
+	robots := make([]*sim.Robot, n)
+	for i := range robots {
+		robots[i] = &sim.Robot{
+			Frame: frames[i],
+			Sigma: 1e9,
+			Behavior: &Flocked{
+				Inner: behaviors[i],
+				Drift: frames[i].VecToLocal(flockWorld),
+			},
+		}
+	}
+	w, err := sim.NewWorld(sim.Config{Positions: positions, Robots: robots, RecordTrace: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []byte("FLOCK")
+	if err := eps[0].Send(4, want); err != nil {
+		t.Fatal(err)
+	}
+	steps, ok, err2 := w.Run(sim.Synchronous{}, 10_000, func(*sim.World) bool {
+		got := eps[4].Receive()
+		return len(got) > 0 && bytes.Equal(got[0].Payload, want)
+	})
+	if err2 != nil {
+		t.Fatal(err2)
+	}
+	if !ok {
+		t.Fatal("flocking swarm failed to deliver")
+	}
+	// Every robot drifted by steps * flock vector, modulo its last
+	// communication offset (senders bounded inside their granulars).
+	for i := 0; i < n; i++ {
+		wantPos := positions[i].Add(flockWorld.Scale(float64(steps)))
+		drift := w.Position(i).Sub(wantPos).Len()
+		maxCommOffset := granularRadii(positions)[i]
+		if drift > maxCommOffset+1e-6 {
+			t.Errorf("robot %d at %v, want near %v (drift error %v)", i, w.Position(i), wantPos, drift)
+		}
+	}
+	// And the swarm really moved: net displacement must dominate the
+	// communication wiggles.
+	if w.Position(0).Dist(positions[0]) < 10 {
+		t.Error("swarm did not actually flock")
+	}
+}
+
+func TestFlockedIdleRobotFollowsExactly(t *testing.T) {
+	// An idle robot's only movement is the flock drift.
+	behaviors, eps, err := NewSyncN(2, SyncNConfig{Naming: NamingLex})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = eps
+	flock := geom.V(1, 0)
+	robots := []*sim.Robot{
+		{Frame: geom.WorldFrame(), Sigma: 1e9, Behavior: &Flocked{Inner: behaviors[0], Drift: flock}},
+		{Frame: geom.WorldFrame(), Sigma: 1e9, Behavior: &Flocked{Inner: behaviors[1], Drift: flock}},
+	}
+	w, err := sim.NewWorld(sim.Config{
+		Positions: []geom.Point{geom.Pt(0, 0), geom.Pt(10, 0)},
+		Robots:    robots,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 7; i++ {
+		if _, err := w.Step(sim.Synchronous{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !w.Position(0).Eq(geom.Pt(7, 0)) || !w.Position(1).Eq(geom.Pt(17, 0)) {
+		t.Errorf("positions %v %v, want (7,0) (17,0)", w.Position(0), w.Position(1))
+	}
+}

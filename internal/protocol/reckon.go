@@ -1,0 +1,52 @@
+package protocol
+
+import "waggle/internal/geom"
+
+// reckoner performs exact dead reckoning for a behavior. A robot's frame
+// is egocentric (its own position is always the local origin), so
+// world-fixed points drift through local coordinates as the robot moves.
+// Behaviors therefore store world-fixed points in "init-local"
+// coordinates — the frame as it was at the first activation — and track
+// the accumulated self-displacement. Dead reckoning is exact in the SSM
+// model provided the behavior never commands a move longer than its
+// sigma (the simulator would clamp it); all protocols in this package
+// respect that bound by construction.
+type reckoner struct {
+	// offset is the robot's displacement since init, in frame units,
+	// expressed in init-local axes (the axes never rotate).
+	offset geom.Vec
+	ready  bool
+}
+
+// initialized reports whether init has run.
+func (r *reckoner) initialized() bool { return r.ready }
+
+// init marks the current instant as the reckoning origin.
+func (r *reckoner) init() { r.ready = true }
+
+// toCurrent converts an init-local point to current-local coordinates.
+func (r *reckoner) toCurrent(initLocal geom.Point) geom.Point {
+	return geom.Point{X: initLocal.X - r.offset.X, Y: initLocal.Y - r.offset.Y}
+}
+
+// toInit converts a current-local point (e.g. an observed position) to
+// init-local coordinates.
+func (r *reckoner) toInit(currentLocal geom.Point) geom.Point {
+	return geom.Point{X: currentLocal.X + r.offset.X, Y: currentLocal.Y + r.offset.Y}
+}
+
+// selfInit returns the robot's own position in init-local coordinates.
+func (r *reckoner) selfInit() geom.Point {
+	return geom.Point{X: r.offset.X, Y: r.offset.Y}
+}
+
+// moveBy commands a displacement (init-local axes == current-local axes,
+// since frames never rotate) and returns the destination in
+// current-local coordinates for Behavior.Step.
+func (r *reckoner) moveBy(delta geom.Vec) geom.Point {
+	r.offset = r.offset.Add(delta)
+	return geom.Point{X: delta.X, Y: delta.Y}
+}
+
+// stay commands no movement.
+func (r *reckoner) stay() geom.Point { return geom.Point{} }

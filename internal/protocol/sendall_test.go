@@ -1,0 +1,184 @@
+package protocol
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"waggle/internal/geom"
+	"waggle/internal/sim"
+)
+
+// TestSendAllSyncN verifies the efficient one-to-all (§1): a single
+// transmission on the sender's own diameter reaches every robot.
+func TestSendAllSyncN(t *testing.T) {
+	rng := rand.New(rand.NewSource(111))
+	n := 6
+	positions := randomPositions(rng, n, 6)
+	for _, scheme := range []Naming{NamingSEC, NamingLex} {
+		sod := scheme == NamingLex
+		frames := frameSet(rng, n, sod, geom.RightHanded)
+		w, eps := buildSyncNWorld(t, positions, frames, SyncNConfig{Naming: scheme})
+		want := []byte("ALL1")
+		if err := eps[2].SendAll(want); err != nil {
+			t.Fatal(err)
+		}
+		got := 0
+		_, ok, err := w.Run(sim.Synchronous{}, 100_000, func(*sim.World) bool {
+			for i, e := range eps {
+				if i == 2 {
+					continue
+				}
+				for _, r := range e.Receive() {
+					if r.From != 2 || r.To != i || !bytes.Equal(r.Payload, want) {
+						t.Fatalf("scheme %v: robot %d received %+v", scheme, i, r)
+					}
+					got++
+				}
+			}
+			return got >= n-1
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			t.Fatalf("scheme %v: only %d of %d robots received the broadcast", scheme, got, n-1)
+		}
+		// Efficiency: ONE frame (24 excursions for 2 bytes), not n-1.
+		if bits := eps[2].SentBits(); bits != 16+8*len(want) {
+			t.Errorf("scheme %v: SentBits = %d, want %d (single transmission)", scheme, bits, 16+8*len(want))
+		}
+	}
+}
+
+func TestSendAllAsyncN(t *testing.T) {
+	rng := rand.New(rand.NewSource(113))
+	n := 4
+	positions := randomPositions(rng, n, 8)
+	frames := frameSet(rng, n, false, geom.RightHanded)
+	w, eps := buildAsyncNWorld(t, positions, frames, AsyncNConfig{})
+	want := []byte{0xBC}
+	if err := eps[1].SendAll(want); err != nil {
+		t.Fatal(err)
+	}
+	received := map[int]bool{}
+	_, ok, err := w.Run(sim.FirstSync{Inner: sim.NewRandomFair(7)}, 2_000_000, func(*sim.World) bool {
+		for i, e := range eps {
+			if i == 1 {
+				continue
+			}
+			for _, r := range e.Receive() {
+				if r.From != 1 || r.To != i || !bytes.Equal(r.Payload, want) {
+					t.Fatalf("robot %d received %+v", i, r)
+				}
+				received[i] = true
+			}
+		}
+		return len(received) >= n-1
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatalf("only %v received the broadcast", received)
+	}
+}
+
+func TestSendAllBounded(t *testing.T) {
+	rng := rand.New(rand.NewSource(117))
+	n := 5
+	positions := randomPositions(rng, n, 8)
+	frames := frameSet(rng, n, false, geom.RightHanded)
+	w, eps := buildBoundedWorld(t, positions, frames, 2, AsyncNConfig{})
+	want := []byte{0x3E}
+	if err := eps[0].SendAll(want); err != nil {
+		t.Fatal(err)
+	}
+	received := map[int]bool{}
+	_, ok, err := w.Run(sim.FirstSync{Inner: sim.NewRandomFair(9)}, 4_000_000, func(*sim.World) bool {
+		for i, e := range eps {
+			if i == 0 {
+				continue
+			}
+			for _, r := range e.Receive() {
+				if r.From != 0 || !bytes.Equal(r.Payload, want) {
+					t.Fatalf("robot %d received %+v", i, r)
+				}
+				received[i] = true
+			}
+		}
+		return len(received) >= n-1
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatalf("only %v received the broadcast", received)
+	}
+}
+
+// TestSendAllVersusBroadcastCost quantifies the §1 efficiency remark:
+// SendAll costs one frame, Broadcast costs n-1 frames.
+func TestSendAllVersusBroadcastCost(t *testing.T) {
+	rng := rand.New(rand.NewSource(119))
+	n := 6
+	positions := randomPositions(rng, n, 6)
+	payload := []byte("C11")
+	frameBits := 16 + 8*len(payload)
+
+	run := func(sendAll bool) int {
+		frames := frameSet(rng, n, false, geom.RightHanded)
+		w, eps := buildSyncNWorld(t, positions, frames, SyncNConfig{})
+		var err error
+		if sendAll {
+			err = eps[0].SendAll(payload)
+		} else {
+			err = eps[0].Broadcast(payload)
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := 0
+		if _, _, err := w.Run(sim.Synchronous{}, 200_000, func(*sim.World) bool {
+			for i, e := range eps {
+				if i != 0 {
+					got += len(e.Receive())
+				}
+			}
+			return got >= n-1
+		}); err != nil {
+			t.Fatal(err)
+		}
+		return eps[0].SentBits()
+	}
+
+	unicasts := run(false)
+	broadcast := run(true)
+	if unicasts != (n-1)*frameBits {
+		t.Errorf("Broadcast cost = %d excursions, want %d", unicasts, (n-1)*frameBits)
+	}
+	if broadcast != frameBits {
+		t.Errorf("SendAll cost = %d excursions, want %d", broadcast, frameBits)
+	}
+}
+
+func TestSendAllTooLong(t *testing.T) {
+	e := newEndpoint(0, 3)
+	if err := e.SendAll(make([]byte, 70_000)); err == nil {
+		t.Error("oversized broadcast accepted")
+	}
+}
+
+func TestEndpointSelfAndNamingStrings(t *testing.T) {
+	e := newEndpoint(2, 5)
+	if e.Self() != 2 {
+		t.Errorf("Self = %d", e.Self())
+	}
+	for n, want := range map[Naming]string{
+		NamingIDs: "ids", NamingLex: "lex", NamingSEC: "sec", Naming(9): "naming(?)",
+	} {
+		if got := n.String(); got != want {
+			t.Errorf("Naming(%d).String = %q, want %q", int(n), got, want)
+		}
+	}
+}

@@ -1,0 +1,299 @@
+package protocol
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"testing"
+
+	"waggle/internal/geom"
+	"waggle/internal/sim"
+)
+
+// buildSync2World wires two robots with arbitrary (shared-handedness)
+// frames at the given separation.
+func buildSync2World(t *testing.T, cfg Sync2Config, frames [2]geom.Frame, sep float64) (*sim.World, []*Endpoint) {
+	t.Helper()
+	behaviors, endpoints, err := NewSync2(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	robots := make([]*sim.Robot, 2)
+	for i := range robots {
+		sigma := cfg.SigmaLocal[i]
+		if sigma <= 0 {
+			sigma = 1e9
+		}
+		robots[i] = &sim.Robot{
+			Frame:    frames[i],
+			Sigma:    sigma * frames[i].Scale, // sigma is configured in local units
+			Behavior: behaviors[i],
+		}
+	}
+	w, err := sim.NewWorld(sim.Config{
+		Positions:   []geom.Point{geom.Pt(0, 0), geom.Pt(sep, 0)},
+		Robots:      robots,
+		RecordTrace: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w, endpoints
+}
+
+func worldFrames() [2]geom.Frame {
+	return [2]geom.Frame{geom.WorldFrame(), geom.WorldFrame()}
+}
+
+// randomFrames returns two frames with random rotation and scale but the
+// same handedness — the §3.1 capability set (chirality only).
+func randomFrames(rng *rand.Rand, hand geom.Handedness) [2]geom.Frame {
+	var out [2]geom.Frame
+	for i := range out {
+		out[i] = geom.NewFrame(geom.Point{}, rng.Float64()*2*math.Pi, 0.1+rng.Float64()*5, hand)
+	}
+	return out
+}
+
+func runUntilDelivered(t *testing.T, w *sim.World, s sim.Scheduler, eps []*Endpoint, wantCount int, maxSteps int) []Received {
+	t.Helper()
+	var got []Received
+	_, ok, err := w.Run(s, maxSteps, func(*sim.World) bool {
+		for _, e := range eps {
+			got = append(got, e.Receive()...)
+		}
+		return len(got) >= wantCount
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatalf("only %d of %d messages delivered in %d steps", len(got), wantCount, maxSteps)
+	}
+	return got
+}
+
+func TestSync2DeliversOneMessage(t *testing.T) {
+	w, eps := buildSync2World(t, Sync2Config{}, worldFrames(), 10)
+	want := []byte("HELLO")
+	if err := eps[0].Send(1, want); err != nil {
+		t.Fatal(err)
+	}
+	got := runUntilDelivered(t, w, sim.Synchronous{}, eps, 1, 10_000)
+	if got[0].From != 0 || got[0].To != 1 || !bytes.Equal(got[0].Payload, want) {
+		t.Errorf("received %+v, want HELLO from 0 to 1", got[0])
+	}
+}
+
+func TestSync2FullDuplex(t *testing.T) {
+	w, eps := buildSync2World(t, Sync2Config{}, worldFrames(), 10)
+	if err := eps[0].Send(1, []byte("PING")); err != nil {
+		t.Fatal(err)
+	}
+	if err := eps[1].Send(0, []byte("PONG")); err != nil {
+		t.Fatal(err)
+	}
+	got := runUntilDelivered(t, w, sim.Synchronous{}, eps, 2, 10_000)
+	byTo := map[int][]byte{}
+	for _, r := range got {
+		byTo[r.To] = r.Payload
+	}
+	if !bytes.Equal(byTo[1], []byte("PING")) || !bytes.Equal(byTo[0], []byte("PONG")) {
+		t.Errorf("full duplex exchange wrong: %v", byTo)
+	}
+}
+
+func TestSync2MultipleMessagesBackToBack(t *testing.T) {
+	w, eps := buildSync2World(t, Sync2Config{}, worldFrames(), 10)
+	msgs := [][]byte{[]byte("A"), []byte("BB"), []byte("CCC"), {}}
+	for _, m := range msgs {
+		if err := eps[0].Send(1, m); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := runUntilDelivered(t, w, sim.Synchronous{}, eps, len(msgs), 20_000)
+	for i, m := range msgs {
+		if !bytes.Equal(got[i].Payload, m) {
+			t.Errorf("message %d = %q, want %q", i, got[i].Payload, m)
+		}
+	}
+}
+
+// The protocol must work when the two robots have arbitrary private
+// rotations and scales, as long as they share handedness (chirality).
+func TestSync2UnderArbitraryFrames(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 10; trial++ {
+		for _, hand := range []geom.Handedness{geom.RightHanded, geom.LeftHanded} {
+			w, eps := buildSync2World(t, Sync2Config{}, randomFrames(rng, hand), 5+rng.Float64()*50)
+			want := []byte{byte(trial), 0xA5, 0x00, 0xFF}
+			if err := eps[1].Send(0, want); err != nil {
+				t.Fatal(err)
+			}
+			got := runUntilDelivered(t, w, sim.Synchronous{}, eps, 1, 10_000)
+			if !bytes.Equal(got[0].Payload, want) {
+				t.Fatalf("trial %d hand %v: got %v, want %v", trial, hand, got[0].Payload, want)
+			}
+		}
+	}
+}
+
+// Mismatched handedness must break decoding: chirality is a REQUIRED
+// assumption, and this test demonstrates the protocol actually depends
+// on it (bits invert).
+func TestSync2MismatchedHandednessCorruptsBits(t *testing.T) {
+	frames := [2]geom.Frame{
+		geom.NewFrame(geom.Point{}, 0, 1, geom.RightHanded),
+		geom.NewFrame(geom.Point{}, 0, 1, geom.LeftHanded),
+	}
+	w, eps := buildSync2World(t, Sync2Config{}, frames, 10)
+	want := []byte{0x0F}
+	if err := eps[0].Send(1, want); err != nil {
+		t.Fatal(err)
+	}
+	var got []Received
+	_, _, err := w.Run(sim.Synchronous{}, 2_000, func(*sim.World) bool {
+		got = append(got, eps[1].Receive()...)
+		return len(got) > 0
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With inverted chirality every bit flips: either framing never
+	// completes or the payload is wrong.
+	if len(got) > 0 && bytes.Equal(got[0].Payload, want) {
+		t.Error("message decoded correctly despite mismatched handedness")
+	}
+}
+
+func TestSync2LevelsSpeedup(t *testing.T) {
+	msg := bytes.Repeat([]byte{0xC3}, 16)
+	stepsFor := func(levels int) int {
+		w, eps := buildSync2World(t, Sync2Config{Levels: levels}, worldFrames(), 10)
+		if err := eps[0].Send(1, msg); err != nil {
+			t.Fatal(err)
+		}
+		steps, ok, err := w.Run(sim.Synchronous{}, 10_000, func(*sim.World) bool {
+			return len(eps[1].Receive()) > 0
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			t.Fatalf("levels=%d: not delivered", levels)
+		}
+		return steps
+	}
+	s2 := stepsFor(2)
+	s16 := stepsFor(16)
+	if s16 >= s2 {
+		t.Errorf("16-level coding (%d steps) not faster than binary (%d steps)", s16, s2)
+	}
+	// 16 levels carry 4 bits per excursion: expect roughly a 4x speedup.
+	ratio := float64(s2) / float64(s16)
+	if ratio < 3 || ratio > 5 {
+		t.Errorf("speedup ratio = %.2f, want about 4", ratio)
+	}
+}
+
+func TestSync2Silent(t *testing.T) {
+	// A robot with no message to send must not move (§5, silence).
+	w, eps := buildSync2World(t, Sync2Config{}, worldFrames(), 10)
+	if err := eps[0].Send(1, []byte("X")); err != nil {
+		t.Fatal(err)
+	}
+	runUntilDelivered(t, w, sim.Synchronous{}, eps, 1, 10_000)
+	if d := w.Trace().TotalDistance(1); d > 1e-9 {
+		t.Errorf("idle robot moved %v", d)
+	}
+	if d := w.Trace().TotalDistance(0); d == 0 {
+		t.Error("sender never moved")
+	}
+}
+
+func TestSync2SentBitsAccounting(t *testing.T) {
+	w, eps := buildSync2World(t, Sync2Config{}, worldFrames(), 10)
+	msg := []byte("AB") // frame = 16 header + 16 payload bits
+	if err := eps[0].Send(1, msg); err != nil {
+		t.Fatal(err)
+	}
+	runUntilDelivered(t, w, sim.Synchronous{}, eps, 1, 10_000)
+	if got := eps[0].SentBits(); got != 32 {
+		t.Errorf("SentBits = %d, want 32", got)
+	}
+	if got := eps[1].SentBits(); got != 0 {
+		t.Errorf("idle robot SentBits = %d, want 0", got)
+	}
+}
+
+func TestSync2AmplitudeExceedsSigma(t *testing.T) {
+	cfg := Sync2Config{SigmaLocal: [2]float64{0.1, 0.1}} // swing 2.5 > 0.1
+	behaviors, eps, err := NewSync2(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	robots := []*sim.Robot{
+		{Frame: geom.WorldFrame(), Sigma: 0.1, Behavior: behaviors[0]},
+		{Frame: geom.WorldFrame(), Sigma: 0.1, Behavior: behaviors[1]},
+	}
+	w, err := sim.NewWorld(sim.Config{
+		Positions: []geom.Point{geom.Pt(0, 0), geom.Pt(10, 0)},
+		Robots:    robots,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eps[0].Send(1, []byte("X")); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if _, err := w.Step(sim.Synchronous{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	r0, ok := behaviors[0].(*sync2Robot)
+	if !ok {
+		t.Fatal("unexpected behavior type")
+	}
+	if r0.Err() == nil {
+		t.Error("expected ErrAmplitudeExceedsSigma to be recorded")
+	}
+	// And the robot must refuse to transmit rather than desynchronise.
+	if got := eps[1].Receive(); len(got) != 0 {
+		t.Errorf("misconfigured sender still delivered %d messages", len(got))
+	}
+}
+
+func TestNewSync2Validation(t *testing.T) {
+	if _, _, err := NewSync2(Sync2Config{AmplitudeFrac: 0.7}); err == nil {
+		t.Error("amplitude fraction >= 0.5 accepted")
+	}
+	if _, _, err := NewSync2(Sync2Config{Levels: 3}); err == nil {
+		t.Error("non-power-of-two level count accepted")
+	}
+}
+
+func TestEndpointValidation(t *testing.T) {
+	_, eps, err := NewSync2(Sync2Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eps[0].Send(0, []byte("x")); err == nil {
+		t.Error("self-send accepted")
+	}
+	if err := eps[0].Send(5, []byte("x")); err == nil {
+		t.Error("out-of-range recipient accepted")
+	}
+	if !eps[0].Idle() {
+		t.Error("fresh endpoint not idle")
+	}
+	if err := eps[0].Send(1, []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if eps[0].Idle() {
+		t.Error("endpoint with queued message reported idle")
+	}
+	if eps[0].PendingMessages() != 1 {
+		t.Errorf("PendingMessages = %d, want 1", eps[0].PendingMessages())
+	}
+}

@@ -1,0 +1,90 @@
+package protocol
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"waggle/internal/geom"
+	"waggle/internal/sim"
+)
+
+// TestSyncNLevelsDelivery composes §3.1's amplitude levels with the
+// n-robot routing: signed excursion lengths carry log2(K) bits each.
+func TestSyncNLevelsDelivery(t *testing.T) {
+	rng := rand.New(rand.NewSource(131))
+	positions := randomPositions(rng, 6, 6)
+	for _, k := range []int{2, 4, 16} {
+		frames := frameSet(rng, 6, false, geom.RightHanded)
+		w, eps := buildSyncNWorld(t, positions, frames, SyncNConfig{Naming: NamingSEC, Levels: k})
+		want := []byte{0xF0, 0x0D, byte(k)}
+		if err := eps[1].Send(4, want); err != nil {
+			t.Fatal(err)
+		}
+		got := runUntilDelivered(t, w, sim.Synchronous{}, eps, 1, 100_000)
+		if got[0].From != 1 || got[0].To != 4 || !bytes.Equal(got[0].Payload, want) {
+			t.Errorf("k=%d: received %+v", k, got[0])
+		}
+	}
+}
+
+// TestSyncNLevelsSpeedup: K levels must cut delivery steps by log2(K).
+func TestSyncNLevelsSpeedup(t *testing.T) {
+	rng := rand.New(rand.NewSource(137))
+	positions := randomPositions(rng, 5, 6)
+	msg := bytes.Repeat([]byte{0x3C}, 8)
+	stepsFor := func(levels int) int {
+		frames := frameSet(rng, 5, false, geom.RightHanded)
+		w, eps := buildSyncNWorld(t, positions, frames, SyncNConfig{Naming: NamingSEC, Levels: levels})
+		if err := eps[0].Send(2, msg); err != nil {
+			t.Fatal(err)
+		}
+		steps, ok, err := w.Run(sim.Synchronous{}, 100_000, func(*sim.World) bool {
+			return len(eps[2].Receive()) > 0
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			t.Fatalf("levels=%d: not delivered", levels)
+		}
+		return steps
+	}
+	plain := stepsFor(0)
+	leveled := stepsFor(16)
+	ratio := float64(plain) / float64(leveled)
+	if ratio < 3.5 || ratio > 4.5 {
+		t.Errorf("16-level speedup = %.2f (plain %d, leveled %d), want about 4", ratio, plain, leveled)
+	}
+}
+
+// TestSyncNLevelsCollisionSafe: every leveled excursion still stays
+// inside the granular.
+func TestSyncNLevelsCollisionSafe(t *testing.T) {
+	rng := rand.New(rand.NewSource(139))
+	positions := randomPositions(rng, 6, 5)
+	frames := frameSet(rng, 6, false, geom.RightHanded)
+	w, eps := buildSyncNWorld(t, positions, frames, SyncNConfig{Naming: NamingSEC, Levels: 8})
+	for i := range eps {
+		if err := eps[i].Broadcast(bytes.Repeat([]byte{byte(0x11 * i)}, 3)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want := len(eps) * (len(eps) - 1)
+	runUntilDelivered(t, w, sim.Synchronous{}, eps, want, 400_000)
+	homes := w.Trace().Initial()
+	radii := granularRadii(homes)
+	for _, s := range w.Trace().Steps() {
+		for i, p := range s.Positions {
+			if p.Dist(homes[i]) > radii[i]+1e-9 {
+				t.Fatalf("robot %d left its granular at t=%d", i, s.Time)
+			}
+		}
+	}
+}
+
+func TestSyncNLevelsValidation(t *testing.T) {
+	if _, _, err := NewSyncN(4, SyncNConfig{Levels: 3}); err == nil {
+		t.Error("non-power-of-two level count accepted")
+	}
+}

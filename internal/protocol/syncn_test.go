@@ -1,0 +1,295 @@
+package protocol
+
+import (
+	"bytes"
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+
+	"waggle/internal/geom"
+	"waggle/internal/sim"
+)
+
+// frameSet builds n frames for a capability set: sense of direction
+// means a shared rotation; otherwise rotations are random. Scales are
+// always private. Handedness is always shared (chirality).
+func frameSet(rng *rand.Rand, n int, senseOfDirection bool, hand geom.Handedness) []geom.Frame {
+	frames := make([]geom.Frame, n)
+	for i := range frames {
+		theta := 0.0
+		if !senseOfDirection {
+			theta = rng.Float64() * 2 * math.Pi
+		}
+		frames[i] = geom.NewFrame(geom.Point{}, theta, 0.2+rng.Float64()*4, hand)
+	}
+	return frames
+}
+
+// randomPositions places n robots with pairwise separation >= minSep.
+func randomPositions(rng *rand.Rand, n int, minSep float64) []geom.Point {
+	pts := make([]geom.Point, 0, n)
+	for len(pts) < n {
+		p := geom.Pt(rng.Float64()*100, rng.Float64()*100)
+		ok := true
+		for _, q := range pts {
+			if p.Dist(q) < minSep {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			pts = append(pts, p)
+		}
+	}
+	return pts
+}
+
+func buildSyncNWorld(t *testing.T, positions []geom.Point, frames []geom.Frame, cfg SyncNConfig) (*sim.World, []*Endpoint) {
+	t.Helper()
+	n := len(positions)
+	behaviors, endpoints, err := NewSyncN(n, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	robots := make([]*sim.Robot, n)
+	for i := range robots {
+		robots[i] = &sim.Robot{Frame: frames[i], Sigma: 1e9, Behavior: behaviors[i]}
+	}
+	w, err := sim.NewWorld(sim.Config{
+		Positions:   positions,
+		Robots:      robots,
+		Identified:  cfg.Naming == NamingIDs,
+		RecordTrace: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w, endpoints
+}
+
+// fig2Positions is a 12-robot layout in the spirit of the paper's
+// Figure 2.
+func fig2Positions() []geom.Point {
+	return []geom.Point{
+		geom.Pt(12, 55), geom.Pt(35, 66), geom.Pt(57, 71), geom.Pt(77, 58),
+		geom.Pt(24, 40), geom.Pt(45, 48), geom.Pt(68, 42), geom.Pt(88, 36),
+		geom.Pt(15, 20), geom.Pt(38, 12), geom.Pt(60, 18), geom.Pt(82, 14),
+	}
+}
+
+func TestSyncNDelivery(t *testing.T) {
+	schemes := []struct {
+		name   string
+		scheme Naming
+		sod    bool
+	}{
+		{"ids", NamingIDs, true},
+		{"lex", NamingLex, true},
+		{"sec", NamingSEC, false},
+	}
+	for _, sc := range schemes {
+		t.Run(sc.name, func(t *testing.T) {
+			rng := rand.New(rand.NewSource(17))
+			positions := fig2Positions()
+			frames := frameSet(rng, len(positions), sc.sod, geom.RightHanded)
+			w, eps := buildSyncNWorld(t, positions, frames, SyncNConfig{Naming: sc.scheme})
+			// Figure 2's scenario: robot 9 sends to robot 3.
+			want := []byte("FIG2")
+			if err := eps[9].Send(3, want); err != nil {
+				t.Fatal(err)
+			}
+			got := runUntilDelivered(t, w, sim.Synchronous{}, eps, 1, 10_000)
+			if got[0].From != 9 || got[0].To != 3 || !bytes.Equal(got[0].Payload, want) {
+				t.Errorf("received %+v, want FIG2 from 9 to 3", got[0])
+			}
+		})
+	}
+}
+
+func TestSyncNConcurrentSenders(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	positions := randomPositions(rng, 8, 5)
+	frames := frameSet(rng, 8, false, geom.LeftHanded)
+	w, eps := buildSyncNWorld(t, positions, frames, SyncNConfig{Naming: NamingSEC})
+	// Every robot sends to its successor simultaneously.
+	for i := range eps {
+		to := (i + 1) % len(eps)
+		if err := eps[i].Send(to, []byte(fmt.Sprintf("m%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := runUntilDelivered(t, w, sim.Synchronous{}, eps, len(eps), 20_000)
+	seen := map[int]string{}
+	for _, r := range got {
+		if r.To != (r.From+1)%len(eps) {
+			t.Errorf("message from %d delivered to %d", r.From, r.To)
+		}
+		seen[r.From] = string(r.Payload)
+	}
+	for i := range eps {
+		if seen[i] != fmt.Sprintf("m%d", i) {
+			t.Errorf("sender %d: payload %q", i, seen[i])
+		}
+	}
+}
+
+func TestSyncNEavesdropRedundancy(t *testing.T) {
+	// §3.4: every robot can read every message (fault-tolerance by
+	// redundancy). A third robot must overhear the 9->3 traffic.
+	rng := rand.New(rand.NewSource(5))
+	positions := fig2Positions()
+	frames := frameSet(rng, len(positions), false, geom.RightHanded)
+	w, eps := buildSyncNWorld(t, positions, frames, SyncNConfig{Naming: NamingSEC})
+	want := []byte("SECRET")
+	if err := eps[9].Send(3, want); err != nil {
+		t.Fatal(err)
+	}
+	runUntilDelivered(t, w, sim.Synchronous{}, eps, 1, 10_000)
+	over := eps[7].Overheard()
+	if len(over) != 1 {
+		t.Fatalf("robot 7 overheard %d messages, want 1", len(over))
+	}
+	if over[0].From != 9 || over[0].To != 3 || !bytes.Equal(over[0].Payload, want) {
+		t.Errorf("overheard %+v", over[0])
+	}
+}
+
+func TestSyncNCollisionAvoidance(t *testing.T) {
+	// C7: robots must never leave their granulars, so the minimum
+	// pairwise distance can never fall below the sum of the two closest
+	// granular margins. With amplitude 0.6 the distance between two
+	// robots at initial distance d is always >= d - 2*0.6*(d/2) = 0.4d.
+	rng := rand.New(rand.NewSource(31))
+	positions := randomPositions(rng, 10, 4)
+	frames := frameSet(rng, 10, false, geom.RightHanded)
+	w, eps := buildSyncNWorld(t, positions, frames, SyncNConfig{Naming: NamingSEC})
+	for i := range eps {
+		if err := eps[i].Broadcast([]byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	wantTotal := len(eps) * (len(eps) - 1)
+	runUntilDelivered(t, w, sim.Synchronous{}, eps, wantTotal, 200_000)
+	minInit := math.Inf(1)
+	for i := range positions {
+		for j := i + 1; j < len(positions); j++ {
+			minInit = math.Min(minInit, positions[i].Dist(positions[j]))
+		}
+	}
+	if got := w.Trace().MinPairwiseDistance(); got < 0.4*minInit-1e-9 {
+		t.Errorf("min pairwise distance %v < %v: collision bound violated", got, 0.4*minInit)
+	}
+	// Stronger invariant: nobody ever left its granular.
+	homes := w.Trace().Initial()
+	radii := granularRadii(homes)
+	for _, s := range w.Trace().Steps() {
+		for i, p := range s.Positions {
+			if p.Dist(homes[i]) > radii[i]+1e-9 {
+				t.Fatalf("robot %d left its granular at t=%d", i, s.Time)
+			}
+		}
+	}
+}
+
+func TestSyncNSilent(t *testing.T) {
+	// C5: synchronous protocols are silent — robots with no pending
+	// message never move.
+	rng := rand.New(rand.NewSource(3))
+	positions := randomPositions(rng, 6, 5)
+	frames := frameSet(rng, 6, false, geom.RightHanded)
+	w, eps := buildSyncNWorld(t, positions, frames, SyncNConfig{Naming: NamingSEC})
+	if err := eps[0].Send(1, []byte("Z")); err != nil {
+		t.Fatal(err)
+	}
+	runUntilDelivered(t, w, sim.Synchronous{}, eps, 1, 10_000)
+	for i := 2; i < 6; i++ {
+		if d := w.Trace().TotalDistance(i); d > 1e-9 {
+			t.Errorf("idle robot %d moved %v", i, d)
+		}
+	}
+}
+
+func TestSyncNLargeSwarm(t *testing.T) {
+	if testing.Short() {
+		t.Skip("large swarm")
+	}
+	rng := rand.New(rand.NewSource(7))
+	n := 48
+	positions := randomPositions(rng, n, 3)
+	frames := frameSet(rng, n, false, geom.RightHanded)
+	w, eps := buildSyncNWorld(t, positions, frames, SyncNConfig{Naming: NamingSEC})
+	if err := eps[0].Send(n-1, []byte("BIG")); err != nil {
+		t.Fatal(err)
+	}
+	got := runUntilDelivered(t, w, sim.Synchronous{}, eps, 1, 10_000)
+	if got[0].To != n-1 || !bytes.Equal(got[0].Payload, []byte("BIG")) {
+		t.Errorf("large swarm delivery wrong: %+v", got[0])
+	}
+}
+
+func TestSyncNBroadcast(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	positions := randomPositions(rng, 5, 5)
+	frames := frameSet(rng, 5, true, geom.RightHanded)
+	w, eps := buildSyncNWorld(t, positions, frames, SyncNConfig{Naming: NamingLex})
+	if err := eps[2].Broadcast([]byte("ALL")); err != nil {
+		t.Fatal(err)
+	}
+	got := runUntilDelivered(t, w, sim.Synchronous{}, eps, 4, 50_000)
+	toSeen := map[int]bool{}
+	for _, r := range got {
+		if r.From != 2 || !bytes.Equal(r.Payload, []byte("ALL")) {
+			t.Errorf("bad broadcast copy %+v", r)
+		}
+		toSeen[r.To] = true
+	}
+	for i := 0; i < 5; i++ {
+		if i != 2 && !toSeen[i] {
+			t.Errorf("robot %d missed the broadcast", i)
+		}
+	}
+}
+
+func TestNewSyncNValidation(t *testing.T) {
+	if _, _, err := NewSyncN(1, SyncNConfig{}); err == nil {
+		t.Error("n=1 accepted")
+	}
+	if _, _, err := NewSyncN(3, SyncNConfig{AmplitudeFrac: 1.5}); err == nil {
+		t.Error("amplitude fraction >= 1 accepted")
+	}
+}
+
+func TestSyncNIDsRequiresIdentifiedSystem(t *testing.T) {
+	// Running the IDs scheme on an anonymous world must surface a
+	// configuration error rather than misbehave.
+	rng := rand.New(rand.NewSource(2))
+	positions := randomPositions(rng, 3, 5)
+	behaviors, eps, err := NewSyncN(3, SyncNConfig{Naming: NamingIDs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	robots := make([]*sim.Robot, 3)
+	for i := range robots {
+		robots[i] = &sim.Robot{Frame: geom.WorldFrame(), Sigma: 1e9, Behavior: behaviors[i]}
+	}
+	w, err := sim.NewWorld(sim.Config{Positions: positions, Robots: robots}) // anonymous!
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eps[0].Send(1, []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if _, err := w.Step(sim.Synchronous{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	r0, ok := behaviors[0].(*syncNRobot)
+	if !ok {
+		t.Fatal("unexpected behavior type")
+	}
+	if r0.Err() == nil {
+		t.Error("IDs scheme on anonymous system not flagged")
+	}
+}

@@ -1,0 +1,207 @@
+// Package render draws swarm configurations as ASCII diagrams and CSV
+// tables — the output side of the figure regeneration tools
+// (cmd/waggle-figures) and the sweep harness (cmd/waggle-sweep).
+package render
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"waggle/internal/geom"
+)
+
+// Canvas is a character grid mapped onto a world-space rectangle.
+type Canvas struct {
+	cols, rows             int
+	minX, minY, maxX, maxY float64
+	cells                  [][]rune
+}
+
+// NewCanvas creates a canvas of the given character size covering the
+// world rectangle. Degenerate rectangles are inflated slightly.
+func NewCanvas(cols, rows int, minX, minY, maxX, maxY float64) *Canvas {
+	if maxX-minX < 1e-9 {
+		maxX = minX + 1
+	}
+	if maxY-minY < 1e-9 {
+		maxY = minY + 1
+	}
+	cells := make([][]rune, rows)
+	for y := range cells {
+		cells[y] = make([]rune, cols)
+		for x := range cells[y] {
+			cells[y][x] = ' '
+		}
+	}
+	return &Canvas{cols: cols, rows: rows, minX: minX, minY: minY, maxX: maxX, maxY: maxY, cells: cells}
+}
+
+// CanvasFor creates a canvas sized to the given points with a margin.
+func CanvasFor(pts []geom.Point, cols, rows int, margin float64) *Canvas {
+	minX, minY := math.Inf(1), math.Inf(1)
+	maxX, maxY := math.Inf(-1), math.Inf(-1)
+	for _, p := range pts {
+		minX, maxX = math.Min(minX, p.X), math.Max(maxX, p.X)
+		minY, maxY = math.Min(minY, p.Y), math.Max(maxY, p.Y)
+	}
+	if len(pts) == 0 {
+		minX, minY, maxX, maxY = 0, 0, 1, 1
+	}
+	return NewCanvas(cols, rows, minX-margin, minY-margin, maxX+margin, maxY+margin)
+}
+
+// cell maps a world point to grid coordinates.
+func (c *Canvas) cell(p geom.Point) (int, int, bool) {
+	fx := (p.X - c.minX) / (c.maxX - c.minX)
+	fy := (p.Y - c.minY) / (c.maxY - c.minY)
+	x := int(math.Round(fx * float64(c.cols-1)))
+	// The y axis points up in the world, down on the grid.
+	y := int(math.Round((1 - fy) * float64(c.rows-1)))
+	if x < 0 || x >= c.cols || y < 0 || y >= c.rows {
+		return 0, 0, false
+	}
+	return x, y, true
+}
+
+// Plot places a rune at a world point.
+func (c *Canvas) Plot(p geom.Point, r rune) {
+	if x, y, ok := c.cell(p); ok {
+		c.cells[y][x] = r
+	}
+}
+
+// Label writes a string starting at a world point.
+func (c *Canvas) Label(p geom.Point, s string) {
+	x, y, ok := c.cell(p)
+	if !ok {
+		return
+	}
+	for i, r := range s {
+		if x+i >= c.cols {
+			break
+		}
+		c.cells[y][x+i] = r
+	}
+}
+
+// Circle draws a circle outline.
+func (c *Canvas) Circle(circle geom.Circle, r rune) {
+	steps := 4 * (c.cols + c.rows)
+	for i := 0; i < steps; i++ {
+		theta := float64(i) / float64(steps) * 2 * math.Pi
+		c.Plot(circle.PointAt(theta), r)
+	}
+}
+
+// Segment draws a straight segment.
+func (c *Canvas) Segment(s geom.Segment, r rune) {
+	steps := 2 * (c.cols + c.rows)
+	for i := 0; i <= steps; i++ {
+		c.Plot(s.At(float64(i)/float64(steps)), r)
+	}
+}
+
+// Polygon draws a polygon outline.
+func (c *Canvas) Polygon(pg geom.Polygon, r rune) {
+	vs := pg.Vertices()
+	for i := range vs {
+		c.Segment(geom.Segment{A: vs[i], B: vs[(i+1)%len(vs)]}, r)
+	}
+}
+
+// String renders the canvas.
+func (c *Canvas) String() string {
+	var b strings.Builder
+	for _, row := range c.cells {
+		b.WriteString(strings.TrimRight(string(row), " "))
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Table formats rows as an aligned text table with a header.
+type Table struct {
+	header []string
+	rows   [][]string
+}
+
+// NewTable creates a table with the given column headers.
+func NewTable(header ...string) *Table {
+	return &Table{header: header}
+}
+
+// AddRow appends one row; values are formatted with %v.
+func (t *Table) AddRow(values ...any) {
+	row := make([]string, len(values))
+	for i, v := range values {
+		switch x := v.(type) {
+		case float64:
+			row[i] = fmt.Sprintf("%.3g", x)
+		default:
+			row[i] = fmt.Sprintf("%v", v)
+		}
+	}
+	t.rows = append(t.rows, row)
+}
+
+// String renders the table.
+func (t *Table) String() string {
+	widths := make([]int, len(t.header))
+	for i, h := range t.header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], cell)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.header)
+	rule := make([]string, len(t.header))
+	for i := range rule {
+		rule[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(rule)
+	for _, row := range t.rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// CSV renders the table as comma-separated values.
+func (t *Table) CSV() string {
+	var b strings.Builder
+	b.WriteString(strings.Join(t.header, ","))
+	b.WriteByte('\n')
+	for _, row := range t.rows {
+		b.WriteString(strings.Join(row, ","))
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// SortRowsBy sorts rows by the given column, numerically when possible.
+func (t *Table) SortRowsBy(col int) {
+	sort.SliceStable(t.rows, func(i, j int) bool {
+		var a, b float64
+		_, errA := fmt.Sscanf(t.rows[i][col], "%g", &a)
+		_, errB := fmt.Sscanf(t.rows[j][col], "%g", &b)
+		if errA == nil && errB == nil {
+			return a < b
+		}
+		return t.rows[i][col] < t.rows[j][col]
+	})
+}

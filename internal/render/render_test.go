@@ -1,0 +1,118 @@
+package render
+
+import (
+	"strings"
+	"testing"
+
+	"waggle/internal/geom"
+)
+
+func TestCanvasPlot(t *testing.T) {
+	c := NewCanvas(11, 11, 0, 0, 10, 10)
+	c.Plot(geom.Pt(0, 0), 'a')   // bottom-left => last row, first col
+	c.Plot(geom.Pt(10, 10), 'b') // top-right => first row, last col
+	c.Plot(geom.Pt(5, 5), 'c')
+	out := strings.Split(strings.TrimRight(c.String(), "\n"), "\n")
+	if len(out) != 11 {
+		t.Fatalf("rows = %d, want 11", len(out))
+	}
+	if out[10][0] != 'a' {
+		t.Errorf("bottom-left = %q", out[10][0])
+	}
+	if len(out[0]) < 11 || out[0][10] != 'b' {
+		t.Errorf("top-right row = %q", out[0])
+	}
+	if out[5][5] != 'c' {
+		t.Errorf("center row = %q", out[5])
+	}
+}
+
+func TestCanvasOutOfBoundsIgnored(t *testing.T) {
+	c := NewCanvas(5, 5, 0, 0, 1, 1)
+	c.Plot(geom.Pt(50, 50), 'x') // silently dropped
+	if strings.ContainsRune(c.String(), 'x') {
+		t.Error("out-of-bounds point drawn")
+	}
+}
+
+func TestCanvasFor(t *testing.T) {
+	pts := []geom.Point{geom.Pt(0, 0), geom.Pt(10, 5)}
+	c := CanvasFor(pts, 40, 12, 1)
+	for _, p := range pts {
+		c.Plot(p, '*')
+	}
+	if got := strings.Count(c.String(), "*"); got != 2 {
+		t.Errorf("plotted %d points, want 2", got)
+	}
+}
+
+func TestCanvasShapes(t *testing.T) {
+	c := NewCanvas(41, 21, -2, -2, 2, 2)
+	c.Circle(geom.Circle{Center: geom.Pt(0, 0), R: 1.5}, 'o')
+	c.Segment(geom.Segment{A: geom.Pt(-1, 0), B: geom.Pt(1, 0)}, '-')
+	c.Polygon(geom.Box(-1, -1, 1, 1), '#')
+	out := c.String()
+	for _, r := range []string{"o", "-", "#"} {
+		if !strings.Contains(out, r) {
+			t.Errorf("shape rune %q missing", r)
+		}
+	}
+}
+
+func TestCanvasLabel(t *testing.T) {
+	c := NewCanvas(20, 3, 0, 0, 10, 2)
+	c.Label(geom.Pt(0, 1), "hello")
+	if !strings.Contains(c.String(), "hello") {
+		t.Error("label missing")
+	}
+	// Labels are clipped at the right edge rather than wrapping.
+	c.Label(geom.Pt(9.9, 1), "longlabel")
+	for _, line := range strings.Split(c.String(), "\n") {
+		if len(line) > 20 {
+			t.Errorf("line overflows canvas: %q", line)
+		}
+	}
+}
+
+func TestDegenerateCanvas(t *testing.T) {
+	c := NewCanvas(5, 5, 3, 3, 3, 3) // zero-size world rect
+	c.Plot(geom.Pt(3, 3), 'z')
+	if !strings.ContainsRune(c.String(), 'z') {
+		t.Error("degenerate rect not inflated")
+	}
+}
+
+func TestTable(t *testing.T) {
+	tb := NewTable("n", "steps", "ratio")
+	tb.AddRow(4, 120, 1.5)
+	tb.AddRow(16, 480, 0.333333)
+	out := tb.String()
+	if !strings.Contains(out, "n") || !strings.Contains(out, "480") {
+		t.Errorf("table missing data:\n%s", out)
+	}
+	if !strings.Contains(out, "0.333") {
+		t.Errorf("float not compacted:\n%s", out)
+	}
+	csv := tb.CSV()
+	if !strings.HasPrefix(csv, "n,steps,ratio\n") {
+		t.Errorf("csv header wrong: %q", csv)
+	}
+	if !strings.Contains(csv, "4,120,1.5") {
+		t.Errorf("csv row missing: %q", csv)
+	}
+}
+
+func TestTableSort(t *testing.T) {
+	tb := NewTable("k", "v")
+	tb.AddRow(32, "a")
+	tb.AddRow(4, "b")
+	tb.AddRow(256, "c")
+	tb.SortRowsBy(0)
+	csv := tb.CSV()
+	i4 := strings.Index(csv, "4,b")
+	i32 := strings.Index(csv, "32,a")
+	i256 := strings.Index(csv, "256,c")
+	if !(i4 < i32 && i32 < i256) {
+		t.Errorf("numeric sort wrong:\n%s", csv)
+	}
+}

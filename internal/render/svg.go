@@ -1,0 +1,138 @@
+package render
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"waggle/internal/geom"
+)
+
+// SVG builds a standalone SVG document over a world-space viewport. The
+// y axis is flipped so the world's +y points up, as in the paper's
+// figures.
+type SVG struct {
+	minX, minY, maxX, maxY float64
+	width                  float64
+	body                   strings.Builder
+}
+
+// NewSVG creates a document covering the given world rectangle,
+// rendered at the given pixel width (height follows the aspect ratio).
+func NewSVG(minX, minY, maxX, maxY, width float64) *SVG {
+	if maxX-minX < 1e-9 {
+		maxX = minX + 1
+	}
+	if maxY-minY < 1e-9 {
+		maxY = minY + 1
+	}
+	if width <= 0 {
+		width = 640
+	}
+	return &SVG{minX: minX, minY: minY, maxX: maxX, maxY: maxY, width: width}
+}
+
+// SVGFor creates a document sized to the given points with a margin.
+func SVGFor(pts []geom.Point, width, margin float64) *SVG {
+	minX, minY := math.Inf(1), math.Inf(1)
+	maxX, maxY := math.Inf(-1), math.Inf(-1)
+	for _, p := range pts {
+		minX, maxX = math.Min(minX, p.X), math.Max(maxX, p.X)
+		minY, maxY = math.Min(minY, p.Y), math.Max(maxY, p.Y)
+	}
+	if len(pts) == 0 {
+		minX, minY, maxX, maxY = 0, 0, 1, 1
+	}
+	return NewSVG(minX-margin, minY-margin, maxX+margin, maxY+margin, width)
+}
+
+func (s *SVG) scale() float64 { return s.width / (s.maxX - s.minX) }
+
+func (s *SVG) height() float64 { return (s.maxY - s.minY) * s.scale() }
+
+func (s *SVG) px(p geom.Point) (float64, float64) {
+	k := s.scale()
+	return (p.X - s.minX) * k, s.height() - (p.Y-s.minY)*k
+}
+
+// Dot draws a filled dot at a world point.
+func (s *SVG) Dot(p geom.Point, radiusPx float64, color string) {
+	x, y := s.px(p)
+	fmt.Fprintf(&s.body, `<circle cx="%.2f" cy="%.2f" r="%.2f" fill="%s"/>`+"\n",
+		x, y, radiusPx, color)
+}
+
+// Circle draws a circle outline with a world-space radius.
+func (s *SVG) Circle(c geom.Circle, color string, widthPx float64) {
+	x, y := s.px(c.Center)
+	fmt.Fprintf(&s.body,
+		`<circle cx="%.2f" cy="%.2f" r="%.2f" fill="none" stroke="%s" stroke-width="%.2f"/>`+"\n",
+		x, y, c.R*s.scale(), color, widthPx)
+}
+
+// Line draws a segment.
+func (s *SVG) Line(seg geom.Segment, color string, widthPx float64) {
+	x1, y1 := s.px(seg.A)
+	x2, y2 := s.px(seg.B)
+	fmt.Fprintf(&s.body,
+		`<line x1="%.2f" y1="%.2f" x2="%.2f" y2="%.2f" stroke="%s" stroke-width="%.2f"/>`+"\n",
+		x1, y1, x2, y2, color, widthPx)
+}
+
+// Polygon draws a closed polygon outline.
+func (s *SVG) Polygon(pg geom.Polygon, color string, widthPx float64) {
+	vs := pg.Vertices()
+	if len(vs) == 0 {
+		return
+	}
+	var pb strings.Builder
+	for i, v := range vs {
+		x, y := s.px(v)
+		if i > 0 {
+			pb.WriteByte(' ')
+		}
+		fmt.Fprintf(&pb, "%.2f,%.2f", x, y)
+	}
+	fmt.Fprintf(&s.body,
+		`<polygon points="%s" fill="none" stroke="%s" stroke-width="%.2f"/>`+"\n",
+		pb.String(), color, widthPx)
+}
+
+// Path draws a polyline through world points (a robot trajectory).
+func (s *SVG) Path(pts []geom.Point, color string, widthPx float64) {
+	if len(pts) < 2 {
+		return
+	}
+	var pb strings.Builder
+	for i, p := range pts {
+		x, y := s.px(p)
+		if i > 0 {
+			pb.WriteByte(' ')
+		}
+		fmt.Fprintf(&pb, "%.2f,%.2f", x, y)
+	}
+	fmt.Fprintf(&s.body,
+		`<polyline points="%s" fill="none" stroke="%s" stroke-width="%.2f" stroke-linejoin="round"/>`+"\n",
+		pb.String(), color, widthPx)
+}
+
+// Text writes a label anchored at a world point.
+func (s *SVG) Text(p geom.Point, label, color string, sizePx float64) {
+	x, y := s.px(p)
+	fmt.Fprintf(&s.body,
+		`<text x="%.2f" y="%.2f" fill="%s" font-size="%.1f" font-family="monospace">%s</text>`+"\n",
+		x, y, color, sizePx, escapeXML(label))
+}
+
+// String renders the complete SVG document.
+func (s *SVG) String() string {
+	return fmt.Sprintf(
+		`<svg xmlns="http://www.w3.org/2000/svg" width="%.0f" height="%.0f" viewBox="0 0 %.0f %.0f">`+
+			"\n<rect width=\"100%%\" height=\"100%%\" fill=\"white\"/>\n%s</svg>\n",
+		s.width, s.height(), s.width, s.height(), s.body.String())
+}
+
+func escapeXML(t string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+	return r.Replace(t)
+}

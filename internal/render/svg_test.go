@@ -1,0 +1,60 @@
+package render
+
+import (
+	"strings"
+	"testing"
+
+	"waggle/internal/geom"
+)
+
+func TestSVGDocumentStructure(t *testing.T) {
+	s := NewSVG(0, 0, 10, 5, 200)
+	s.Dot(geom.Pt(1, 1), 3, "#000")
+	s.Circle(geom.Circle{Center: geom.Pt(5, 2), R: 2}, "#f00", 1)
+	s.Line(geom.Segment{A: geom.Pt(0, 0), B: geom.Pt(10, 5)}, "#0f0", 1)
+	s.Polygon(geom.Box(1, 1, 3, 3), "#00f", 1)
+	s.Path([]geom.Point{geom.Pt(0, 0), geom.Pt(1, 1), geom.Pt(2, 0)}, "#999", 1)
+	s.Text(geom.Pt(2, 2), `a<b&"c"`, "#000", 10)
+	out := s.String()
+	for _, frag := range []string{"<svg", "</svg>", "<circle", "<line", "<polygon", "<polyline", "<text", "a&lt;b&amp;&quot;c&quot;"} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("missing %q in SVG output", frag)
+		}
+	}
+	// Height follows the aspect ratio: 200 * (5/10) = 100.
+	if !strings.Contains(out, `height="100"`) {
+		t.Errorf("wrong height: %s", out[:120])
+	}
+}
+
+func TestSVGYAxisFlipped(t *testing.T) {
+	s := NewSVG(0, 0, 10, 10, 100)
+	s.Dot(geom.Pt(0, 10), 1, "#000") // world top-left -> pixel y = 0
+	out := s.String()
+	if !strings.Contains(out, `cx="0.00" cy="0.00"`) {
+		t.Errorf("y axis not flipped:\n%s", out)
+	}
+}
+
+func TestSVGForDegenerate(t *testing.T) {
+	s := SVGFor(nil, 100, 1)
+	if !strings.Contains(s.String(), "<svg") {
+		t.Error("degenerate SVG invalid")
+	}
+	s2 := SVGFor([]geom.Point{geom.Pt(3, 3)}, 0, 0)
+	if !strings.Contains(s2.String(), "<svg") {
+		t.Error("single-point SVG invalid")
+	}
+}
+
+func TestSVGEmptyShapesIgnored(t *testing.T) {
+	s := NewSVG(0, 0, 1, 1, 100)
+	s.Path([]geom.Point{geom.Pt(0, 0)}, "#000", 1) // too short
+	s.Polygon(Polygonless(), "#000", 1)
+	if strings.Contains(s.String(), "polyline") || strings.Contains(s.String(), "polygon") {
+		t.Error("degenerate shapes emitted")
+	}
+}
+
+// Polygonless returns an empty polygon.
+func Polygonless() geom.Polygon { return geom.NewPolygon(nil) }

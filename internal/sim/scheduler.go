@@ -1,0 +1,168 @@
+package sim
+
+import "math/rand"
+
+// Scheduler decides which robots are active at each instant. The model
+// requires every returned set to be non-empty, and every fair scheduler
+// must activate every robot infinitely often.
+type Scheduler interface {
+	// Next returns the indices of robots active at instant t, for a
+	// system of n robots.
+	Next(t, n int) []int
+}
+
+// Synchronous activates every robot at every instant — the paper's
+// synchronous setting (§3).
+type Synchronous struct{}
+
+// Next implements Scheduler.
+func (Synchronous) Next(_, n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+var _ Scheduler = Synchronous{}
+
+// RoundRobin activates exactly one robot per instant, in cyclic order —
+// the most sequential fair asynchronous scheduler.
+type RoundRobin struct{}
+
+// Next implements Scheduler.
+func (RoundRobin) Next(t, n int) []int { return []int{t % n} }
+
+var _ Scheduler = RoundRobin{}
+
+// RandomFair activates each robot independently with probability P at
+// each instant, re-drawing until the set is non-empty, and additionally
+// enforces fairness with a hard bound: a robot left inactive for
+// MaxLag consecutive instants is forcibly activated. It models the
+// paper's "uniform fair scheduler".
+type RandomFair struct {
+	rng *rand.Rand
+	// P is the per-robot activation probability (default 0.5).
+	P float64
+	// MaxLag forcibly activates any robot idle that long (default 64).
+	MaxLag int
+
+	idle []int
+}
+
+// NewRandomFair returns a seeded random fair scheduler.
+func NewRandomFair(seed int64) *RandomFair {
+	return &RandomFair{rng: rand.New(rand.NewSource(seed)), P: 0.5, MaxLag: 64}
+}
+
+// Next implements Scheduler.
+func (s *RandomFair) Next(_, n int) []int {
+	if s.rng == nil {
+		s.rng = rand.New(rand.NewSource(1))
+	}
+	p := s.P
+	if p <= 0 || p > 1 {
+		p = 0.5
+	}
+	maxLag := s.MaxLag
+	if maxLag <= 0 {
+		maxLag = 64
+	}
+	if len(s.idle) != n {
+		s.idle = make([]int, n)
+	}
+	var out []int
+	for len(out) == 0 {
+		out = out[:0]
+		for i := 0; i < n; i++ {
+			if s.idle[i] >= maxLag || s.rng.Float64() < p {
+				out = append(out, i)
+			}
+		}
+	}
+	for i := 0; i < n; i++ {
+		s.idle[i]++
+	}
+	for _, i := range out {
+		s.idle[i] = 0
+	}
+	return out
+}
+
+var _ Scheduler = (*RandomFair)(nil)
+
+// Starver is an adversarial-but-fair scheduler: it delays the Victim
+// robot for Delay consecutive instants out of every Delay+1 (activating
+// everyone else each instant), then activates only the victim. It
+// stresses the implicit-acknowledgement machinery of §4 as hard as
+// fairness allows.
+type Starver struct {
+	// Victim is the robot being starved.
+	Victim int
+	// Delay is how many instants in a row the victim stays inactive.
+	Delay int
+}
+
+// Next implements Scheduler.
+func (s Starver) Next(t, n int) []int {
+	delay := s.Delay
+	if delay <= 0 {
+		delay = 8
+	}
+	victim := s.Victim % n
+	if victim < 0 {
+		victim = 0
+	}
+	if t%(delay+1) == delay {
+		return []int{victim}
+	}
+	out := make([]int, 0, n-1)
+	for i := 0; i < n; i++ {
+		if i != victim {
+			out = append(out, i)
+		}
+	}
+	if len(out) == 0 {
+		return []int{victim}
+	}
+	return out
+}
+
+var _ Scheduler = Starver{}
+
+// FirstSync wraps a scheduler so that instant 0 activates every robot —
+// the paper's "all the robots are awake in t0" assumption (§4.2), which
+// lets every robot record the initial configuration P(t0) before anyone
+// moves. From instant 1 on, the inner scheduler decides.
+type FirstSync struct {
+	Inner Scheduler
+}
+
+// Next implements Scheduler.
+func (s FirstSync) Next(t, n int) []int {
+	if t == 0 {
+		return Synchronous{}.Next(t, n)
+	}
+	return s.Inner.Next(t, n)
+}
+
+var _ Scheduler = FirstSync{}
+
+// Alternator activates the robots of each parity class on alternating
+// instants (evens then odds), so no two specific robots are ever active
+// together. With two robots it is the fully sequential interleaving.
+type Alternator struct{}
+
+// Next implements Scheduler.
+func (Alternator) Next(t, n int) []int {
+	var out []int
+	for i := t % 2; i < n; i += 2 {
+		out = append(out, i)
+	}
+	if len(out) == 0 { // n == 1 and odd instant
+		return []int{0}
+	}
+	return out
+}
+
+var _ Scheduler = Alternator{}

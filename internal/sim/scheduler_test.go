@@ -1,0 +1,184 @@
+package sim
+
+import (
+	"testing"
+
+	"waggle/internal/geom"
+)
+
+func TestSynchronousActivatesAll(t *testing.T) {
+	s := Synchronous{}
+	for _, n := range []int{1, 2, 7} {
+		got := s.Next(0, n)
+		if len(got) != n {
+			t.Errorf("n=%d: %d active, want %d", n, len(got), n)
+		}
+	}
+}
+
+func TestRoundRobinCycles(t *testing.T) {
+	s := RoundRobin{}
+	want := []int{0, 1, 2, 0, 1, 2}
+	for i, w := range want {
+		got := s.Next(i, 3)
+		if len(got) != 1 || got[0] != w {
+			t.Errorf("t=%d: active = %v, want [%d]", i, got, w)
+		}
+	}
+}
+
+func TestRandomFairNonEmptyAndFair(t *testing.T) {
+	s := NewRandomFair(42)
+	const n, steps = 5, 2000
+	lastActive := make([]int, n)
+	for t0 := 0; t0 < steps; t0++ {
+		got := s.Next(t0, n)
+		if len(got) == 0 {
+			t.Fatalf("t=%d: empty activation", t0)
+		}
+		for _, i := range got {
+			if i < 0 || i >= n {
+				t.Fatalf("t=%d: bad index %d", t0, i)
+			}
+			lastActive[i] = t0
+		}
+		// Fairness bound: nobody may be idle longer than MaxLag+1.
+		for i := 0; i < n; i++ {
+			if t0-lastActive[i] > s.MaxLag+1 {
+				t.Fatalf("robot %d idle for %d steps (> MaxLag)", i, t0-lastActive[i])
+			}
+		}
+	}
+}
+
+func TestRandomFairDeterministicPerSeed(t *testing.T) {
+	a, b := NewRandomFair(7), NewRandomFair(7)
+	for i := 0; i < 100; i++ {
+		ga, gb := a.Next(i, 4), b.Next(i, 4)
+		if len(ga) != len(gb) {
+			t.Fatalf("step %d: diverged", i)
+		}
+		for j := range ga {
+			if ga[j] != gb[j] {
+				t.Fatalf("step %d: diverged", i)
+			}
+		}
+	}
+}
+
+func TestStarverDelaysVictimButStaysFair(t *testing.T) {
+	s := Starver{Victim: 1, Delay: 4}
+	const n = 3
+	victimActivations := 0
+	for t0 := 0; t0 < 50; t0++ {
+		got := s.Next(t0, n)
+		if len(got) == 0 {
+			t.Fatalf("t=%d: empty activation", t0)
+		}
+		for _, i := range got {
+			if i == 1 {
+				victimActivations++
+				if t0%(s.Delay+1) != s.Delay {
+					t.Fatalf("victim active at t=%d, outside its slot", t0)
+				}
+			}
+		}
+	}
+	if victimActivations != 10 {
+		t.Errorf("victim activated %d times in 50 steps, want 10", victimActivations)
+	}
+}
+
+func TestStarverSingleRobot(t *testing.T) {
+	s := Starver{Victim: 0, Delay: 3}
+	for t0 := 0; t0 < 10; t0++ {
+		if got := s.Next(t0, 1); len(got) != 1 || got[0] != 0 {
+			t.Fatalf("t=%d: active = %v, want [0]", t0, got)
+		}
+	}
+}
+
+func TestAlternator(t *testing.T) {
+	s := Alternator{}
+	even := s.Next(0, 4)
+	odd := s.Next(1, 4)
+	if len(even) != 2 || even[0] != 0 || even[1] != 2 {
+		t.Errorf("even set = %v, want [0 2]", even)
+	}
+	if len(odd) != 2 || odd[0] != 1 || odd[1] != 3 {
+		t.Errorf("odd set = %v, want [1 3]", odd)
+	}
+	if got := s.Next(1, 1); len(got) != 1 || got[0] != 0 {
+		t.Errorf("n=1 odd instant = %v, want [0]", got)
+	}
+}
+
+func TestTrackerIdentify(t *testing.T) {
+	homes := []geom.Point{geom.Pt(0, 0), geom.Pt(10, 0), geom.Pt(0, 10)}
+	tr := NewTrackerFromConfig(homes)
+	if tr.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", tr.Len())
+	}
+	// Granular radii: half of nearest-neighbour distances (10) = 5.
+	for i := 0; i < 3; i++ {
+		if !geom.ApproxEq(tr.Radius(i), 5) {
+			t.Errorf("radius %d = %v, want 5", i, tr.Radius(i))
+		}
+	}
+	tests := []struct {
+		name string
+		p    geom.Point
+		want int
+	}{
+		{"at home 0", geom.Pt(0, 0), 0},
+		{"inside granular 1", geom.Pt(8, 1), 1},
+		{"inside granular 2", geom.Pt(1, 12), 2},
+	}
+	for _, tt := range tests {
+		got, err := tr.Identify(tt.p)
+		if err != nil {
+			t.Fatalf("%s: %v", tt.name, err)
+		}
+		if got != tt.want {
+			t.Errorf("%s: Identify = %d, want %d", tt.name, got, tt.want)
+		}
+	}
+	if _, err := tr.Identify(geom.Pt(50, 50)); err == nil {
+		t.Error("point outside every granular must not be identified")
+	}
+}
+
+func TestChangeCounter(t *testing.T) {
+	c := NewChangeCounter(2, 1e-6)
+	// First observation is the baseline, not a change.
+	if got := c.Observe(0, geom.Pt(0, 0)); got != 0 {
+		t.Errorf("baseline counted as change: %d", got)
+	}
+	if got := c.Observe(0, geom.Pt(0, 0)); got != 0 {
+		t.Errorf("no-move counted as change: %d", got)
+	}
+	if got := c.Observe(0, geom.Pt(1, 0)); got != 1 {
+		t.Errorf("first change: count = %d, want 1", got)
+	}
+	if got := c.Observe(0, geom.Pt(1, 0)); got != 1 {
+		t.Errorf("steady position increments count: %d", got)
+	}
+	if got := c.Observe(0, geom.Pt(2, 0)); got != 2 {
+		t.Errorf("second change: count = %d, want 2", got)
+	}
+	c.Observe(1, geom.Pt(5, 5))
+	if c.AllAtLeast(2, -1) {
+		t.Error("AllAtLeast(2) should fail: robot 1 has no changes")
+	}
+	if !c.AllAtLeast(2, 1) {
+		t.Error("AllAtLeast(2, skip=1) should succeed")
+	}
+	c.Reset()
+	if c.Count(0) != 0 {
+		t.Errorf("Reset did not clear counts: %d", c.Count(0))
+	}
+	// After Reset the next observation is a fresh baseline.
+	if got := c.Observe(0, geom.Pt(9, 9)); got != 0 {
+		t.Errorf("post-reset baseline counted as change: %d", got)
+	}
+}

@@ -1,0 +1,320 @@
+// Package sim implements the paper's execution model: the
+// semi-synchronous model (SSM) of Suzuki and Yamashita, in which time is
+// a sequence of instants t0, t1, ...; at each instant a scheduler
+// activates a non-empty subset of robots; each active robot observes the
+// instantaneous configuration (through its own local coordinate frame),
+// computes a destination, and moves towards it, covering at most its
+// private distance bound sigma per activation. All moves of an instant
+// are computed from the same snapshot and applied simultaneously.
+//
+// Robots are non-oblivious: a Behavior keeps arbitrary private state
+// between activations. There is no communication medium of any kind —
+// the only inter-robot channel is the observed configuration, which is
+// exactly the premise of the paper.
+package sim
+
+import (
+	"errors"
+	"fmt"
+
+	"waggle/internal/geom"
+)
+
+// Behavior is a robot's deterministic algorithm. Step is invoked at
+// every activation with the robot's local view of the configuration and
+// must return the destination point in the robot's local coordinates.
+// Returning the robot's own local position (always the local origin,
+// since frames are egocentric) means "stay put".
+//
+// Behaviors may retain state across calls (the robots are
+// non-oblivious).
+type Behavior interface {
+	Step(view View) geom.Point
+}
+
+// BehaviorFunc adapts a function to the Behavior interface.
+type BehaviorFunc func(view View) geom.Point
+
+// Step implements Behavior.
+func (f BehaviorFunc) Step(view View) geom.Point { return f(view) }
+
+var _ Behavior = BehaviorFunc(nil)
+
+// View is what an activated robot perceives: the instantaneous positions
+// of all robots expressed in its own frame. Positions are index-aligned
+// with the world's robot slice; protocols that model *anonymous* robots
+// must not treat the index as an identity — they re-identify robots
+// geometrically (see Tracker). Self is the observer's own index, which
+// every robot trivially knows (its own position is the local origin).
+type View struct {
+	// Time is the index of the current instant.
+	Time int
+	// Self is the observer's index.
+	Self int
+	// Points holds every robot's position in the observer's local frame.
+	Points []geom.Point
+	// IDs holds the observable identifiers, or nil in an anonymous
+	// system (§2 of the paper: "identified or anonymous").
+	IDs []int
+	// Visible, when non-nil, marks which robots the observer can
+	// actually see (limited visibility, the §5 open problem). Points of
+	// invisible robots hold the observer's own position — the sensor
+	// reports nothing there. Nil means unlimited visibility (the
+	// paper's base model). The shipped protocols assume full visibility
+	// and do not consult this field; the visibility experiments measure
+	// what that assumption costs.
+	Visible []bool
+}
+
+// N returns the number of robots in the view.
+func (v View) N() int { return len(v.Points) }
+
+// Other returns the index of the unique robot that is not the observer.
+// It panics unless the view contains exactly two robots; it exists for
+// the two-robot protocols.
+func (v View) Other() int {
+	if len(v.Points) != 2 {
+		panic(fmt.Sprintf("sim: View.Other on %d robots", len(v.Points)))
+	}
+	return 1 - v.Self
+}
+
+// Robot is one mobile robot: a frame (its private coordinate system,
+// carried along as it moves), a per-activation distance bound, and its
+// algorithm.
+type Robot struct {
+	// Frame is the robot's private coordinate system. Its origin always
+	// tracks the robot's current position (frames are egocentric); theta,
+	// scale and handedness are fixed at creation.
+	Frame geom.Frame
+	// Sigma is the maximum distance covered in one activation. Must be
+	// positive.
+	Sigma float64
+	// VisRadius limits how far the robot's sensors reach (world units);
+	// 0 means unlimited (the paper's base model).
+	VisRadius float64
+	// Behavior is the robot's algorithm.
+	Behavior Behavior
+}
+
+// World is a running SSM system.
+type World struct {
+	robots []*Robot
+	pos    []geom.Point
+	ids    []int // nil when anonymous
+	time   int
+	trace  *Trace
+}
+
+// Config configures a World.
+type Config struct {
+	// Positions are the initial robot positions (world coordinates). At
+	// least one robot; positions must be pairwise distinct.
+	Positions []geom.Point
+	// Robots supplies frame, sigma and behavior per robot, index-aligned
+	// with Positions. Frames' origins are overwritten with the positions.
+	Robots []*Robot
+	// Identified makes the robots carry observable IDs 0..n-1. When
+	// false, views carry no IDs (anonymous system).
+	Identified bool
+	// RecordTrace enables full move recording (used by tests, figures
+	// and benchmarks; protocols never read the trace).
+	RecordTrace bool
+}
+
+var (
+	// ErrNoRobots is returned for an empty configuration.
+	ErrNoRobots = errors.New("sim: no robots")
+	// ErrMismatchedRobots is returned when Positions and Robots differ
+	// in length.
+	ErrMismatchedRobots = errors.New("sim: positions and robots length mismatch")
+	// ErrCoincidentRobots is returned when two robots start at the same
+	// point, which the model forbids.
+	ErrCoincidentRobots = errors.New("sim: coincident initial positions")
+	// ErrBadSigma is returned when a robot has a non-positive sigma.
+	ErrBadSigma = errors.New("sim: sigma must be positive")
+	// ErrEmptyActivation is returned when a scheduler activates nobody,
+	// violating the model ("at least one robot is active at each
+	// instant").
+	ErrEmptyActivation = errors.New("sim: scheduler activated no robot")
+)
+
+// NewWorld validates the configuration and builds a world at instant 0.
+func NewWorld(cfg Config) (*World, error) {
+	n := len(cfg.Positions)
+	if n == 0 {
+		return nil, ErrNoRobots
+	}
+	if len(cfg.Robots) != n {
+		return nil, ErrMismatchedRobots
+	}
+	for i := 0; i < n; i++ {
+		if cfg.Robots[i] == nil || cfg.Robots[i].Behavior == nil {
+			return nil, fmt.Errorf("sim: robot %d has no behavior", i)
+		}
+		if cfg.Robots[i].Sigma <= 0 {
+			return nil, fmt.Errorf("robot %d: %w", i, ErrBadSigma)
+		}
+		for j := i + 1; j < n; j++ {
+			if cfg.Positions[i].Eq(cfg.Positions[j]) {
+				return nil, fmt.Errorf("robots %d and %d: %w", i, j, ErrCoincidentRobots)
+			}
+		}
+	}
+	w := &World{
+		robots: make([]*Robot, n),
+		pos:    make([]geom.Point, n),
+	}
+	copy(w.pos, cfg.Positions)
+	for i, r := range cfg.Robots {
+		rr := *r // copy so callers can reuse template robots
+		rr.Frame = rr.Frame.WithOrigin(w.pos[i])
+		if rr.Frame.Scale <= 0 {
+			rr.Frame.Scale = 1
+		}
+		if rr.Frame.Hand != geom.LeftHanded {
+			rr.Frame.Hand = geom.RightHanded
+		}
+		w.robots[i] = &rr
+	}
+	if cfg.Identified {
+		w.ids = make([]int, n)
+		for i := range w.ids {
+			w.ids[i] = i
+		}
+	}
+	if cfg.RecordTrace {
+		w.trace = NewTrace(cfg.Positions)
+	}
+	return w, nil
+}
+
+// N returns the number of robots.
+func (w *World) N() int { return len(w.robots) }
+
+// Time returns the current instant index.
+func (w *World) Time() int { return w.time }
+
+// Positions returns a copy of the current configuration.
+func (w *World) Positions() []geom.Point {
+	out := make([]geom.Point, len(w.pos))
+	copy(out, w.pos)
+	return out
+}
+
+// Position returns robot i's current position.
+func (w *World) Position(i int) geom.Point { return w.pos[i] }
+
+// Robot returns robot i.
+func (w *World) Robot(i int) *Robot { return w.robots[i] }
+
+// Trace returns the recorded trace, or nil when recording is off.
+func (w *World) Trace() *Trace { return w.trace }
+
+// Step advances the world by one instant using the scheduler's
+// activation set. It returns the set of activated robots.
+func (w *World) Step(s Scheduler) ([]int, error) {
+	active := s.Next(w.time, len(w.robots))
+	if len(active) == 0 {
+		return nil, ErrEmptyActivation
+	}
+	// All active robots observe the same snapshot.
+	snapshot := make([]geom.Point, len(w.pos))
+	copy(snapshot, w.pos)
+
+	type move struct {
+		idx  int
+		dest geom.Point
+	}
+	moves := make([]move, 0, len(active))
+	for _, i := range active {
+		if i < 0 || i >= len(w.robots) {
+			return nil, fmt.Errorf("sim: scheduler activated robot %d of %d", i, len(w.robots))
+		}
+		r := w.robots[i]
+		view := w.localView(i, snapshot)
+		localDest := r.Behavior.Step(view)
+		worldDest := r.Frame.ToWorld(localDest)
+		// Clamp to the per-activation bound sigma.
+		delta := worldDest.Sub(snapshot[i])
+		if d := delta.Len(); d > r.Sigma {
+			worldDest = snapshot[i].Add(delta.Scale(r.Sigma / d))
+		}
+		moves = append(moves, move{idx: i, dest: worldDest})
+	}
+	// Apply simultaneously.
+	for _, m := range moves {
+		from := w.pos[m.idx]
+		w.pos[m.idx] = m.dest
+		w.robots[m.idx].Frame = w.robots[m.idx].Frame.WithOrigin(m.dest)
+		if w.trace != nil {
+			w.trace.record(w.time, m.idx, from, m.dest)
+		}
+	}
+	if w.trace != nil {
+		w.trace.endStep(w.time, active, w.pos)
+	}
+	w.time++
+	return active, nil
+}
+
+// Teleport forcibly relocates robot i — a transient fault injected by
+// the experiment harness (a gust of wind, a sensor glitch, an operator
+// picking the robot up). Protocols do not expect it; the §5
+// stabilization experiments measure how they recover.
+func (w *World) Teleport(i int, to geom.Point) error {
+	if i < 0 || i >= len(w.robots) {
+		return fmt.Errorf("sim: teleport of robot %d of %d", i, len(w.robots))
+	}
+	from := w.pos[i]
+	w.pos[i] = to
+	w.robots[i].Frame = w.robots[i].Frame.WithOrigin(to)
+	if w.trace != nil {
+		w.trace.record(w.time, i, from, to)
+	}
+	return nil
+}
+
+// Run advances the world until the predicate returns true or maxSteps
+// instants have elapsed. It returns the number of instants executed and
+// whether the predicate was satisfied.
+func (w *World) Run(s Scheduler, maxSteps int, done func(w *World) bool) (int, bool, error) {
+	for step := 0; step < maxSteps; step++ {
+		if done != nil && done(w) {
+			return step, true, nil
+		}
+		if _, err := w.Step(s); err != nil {
+			return step, false, err
+		}
+	}
+	return maxSteps, done != nil && done(w), nil
+}
+
+// localView builds robot i's view of the snapshot.
+func (w *World) localView(i int, snapshot []geom.Point) View {
+	frame := w.robots[i].Frame
+	pts := make([]geom.Point, len(snapshot))
+	var visible []bool
+	if r := w.robots[i].VisRadius; r > 0 {
+		visible = make([]bool, len(snapshot))
+	}
+	for j, p := range snapshot {
+		if visible != nil {
+			if snapshot[i].Dist(p) <= w.robots[i].VisRadius {
+				visible[j] = true
+			} else {
+				// Out of sensor range: the observer perceives nothing
+				// at all for this robot.
+				pts[j] = frame.ToLocal(snapshot[i])
+				continue
+			}
+		}
+		pts[j] = frame.ToLocal(p)
+	}
+	var ids []int
+	if w.ids != nil {
+		ids = make([]int, len(w.ids))
+		copy(ids, w.ids)
+	}
+	return View{Time: w.time, Self: i, Points: pts, IDs: ids, Visible: visible}
+}

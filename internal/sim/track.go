@@ -1,0 +1,148 @@
+package sim
+
+import (
+	"errors"
+
+	"waggle/internal/geom"
+)
+
+// ErrUntrackable is returned when an observed point cannot be attributed
+// to any home region — a protocol-invariant violation (some robot left
+// its granular).
+var ErrUntrackable = errors.New("sim: observed point outside every home region")
+
+// Tracker re-identifies anonymous robots across observations. The
+// paper's n-robot protocols confine every robot to its granular — the
+// disc around its initial ("home") position whose radius is half the
+// distance to the nearest other robot. Granulars are pairwise disjoint,
+// so "which home is this point nearest to, within that home's radius?"
+// is an unambiguous, purely geometric identity — exactly the
+// re-identification an anonymous observer can perform, with no hidden
+// reliance on simulator indices.
+type Tracker struct {
+	homes []geom.Point
+	radii []float64
+}
+
+// NewTracker builds a tracker from home positions and per-home granular
+// radii (index-aligned).
+func NewTracker(homes []geom.Point, radii []float64) *Tracker {
+	h := make([]geom.Point, len(homes))
+	copy(h, homes)
+	r := make([]float64, len(radii))
+	copy(r, radii)
+	return &Tracker{homes: h, radii: r}
+}
+
+// NewTrackerFromConfig derives granular radii (half nearest-neighbour
+// distance) directly from an initial configuration.
+func NewTrackerFromConfig(homes []geom.Point) *Tracker {
+	radii := make([]float64, len(homes))
+	for i, p := range homes {
+		best := -1.0
+		for j, q := range homes {
+			if i == j {
+				continue
+			}
+			if d := p.Dist(q); best < 0 || d < best {
+				best = d
+			}
+		}
+		if best < 0 {
+			best = 1
+		}
+		radii[i] = best / 2
+	}
+	t := &Tracker{homes: make([]geom.Point, len(homes)), radii: radii}
+	copy(t.homes, homes)
+	return t
+}
+
+// Identify maps an observed point to the home index whose granular
+// contains it.
+func (t *Tracker) Identify(p geom.Point) (int, error) {
+	bestIdx, bestDist := -1, 0.0
+	for i, h := range t.homes {
+		d := p.Dist(h)
+		if d <= t.radii[i]+geom.Eps*(1+t.radii[i]) {
+			if bestIdx < 0 || d < bestDist {
+				bestIdx, bestDist = i, d
+			}
+		}
+	}
+	if bestIdx < 0 {
+		return 0, ErrUntrackable
+	}
+	return bestIdx, nil
+}
+
+// Home returns home position i.
+func (t *Tracker) Home(i int) geom.Point { return t.homes[i] }
+
+// Radius returns granular radius i.
+func (t *Tracker) Radius(i int) float64 { return t.radii[i] }
+
+// Len returns the number of tracked homes.
+func (t *Tracker) Len() int { return len(t.homes) }
+
+// ChangeCounter counts, per observed robot, how many position changes
+// the observer has witnessed since the last Reset. It implements the
+// paper's "r observes that the position of r' has changed twice"
+// predicate, which drives every implicit acknowledgement in §4.
+type ChangeCounter struct {
+	last   []geom.Point
+	seen   []bool
+	counts []int
+	tol    float64
+}
+
+// NewChangeCounter creates a counter for n robots with the given
+// movement-detection tolerance.
+func NewChangeCounter(n int, tol float64) *ChangeCounter {
+	return &ChangeCounter{
+		last:   make([]geom.Point, n),
+		seen:   make([]bool, n),
+		counts: make([]int, n),
+		tol:    tol,
+	}
+}
+
+// Observe feeds one observation of robot i at point p and returns its
+// updated change count.
+func (c *ChangeCounter) Observe(i int, p geom.Point) int {
+	if !c.seen[i] {
+		c.seen[i] = true
+		c.last[i] = p
+		return c.counts[i]
+	}
+	if p.Dist(c.last[i]) > c.tol {
+		c.counts[i]++
+		c.last[i] = p
+	}
+	return c.counts[i]
+}
+
+// Count returns the change count of robot i.
+func (c *ChangeCounter) Count(i int) int { return c.counts[i] }
+
+// Reset zeroes all counts and baselines (a new waiting phase begins).
+func (c *ChangeCounter) Reset() {
+	for i := range c.counts {
+		c.counts[i] = 0
+		c.seen[i] = false
+	}
+}
+
+// AllAtLeast reports whether every robot except skip has changed at
+// least k times.
+func (c *ChangeCounter) AllAtLeast(k, skip int) bool {
+	for i, n := range c.counts {
+		if i == skip {
+			continue
+		}
+		if n < k {
+			return false
+		}
+	}
+	return true
+}

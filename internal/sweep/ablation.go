@@ -1,0 +1,151 @@
+package sweep
+
+import (
+	"fmt"
+
+	"waggle/internal/figures"
+	"waggle/internal/geom"
+	"waggle/internal/protocol"
+	"waggle/internal/render"
+	"waggle/internal/sim"
+
+	"math/rand"
+)
+
+// Ablations run the design-choice sweeps DESIGN.md calls out: the
+// asynchronous step divisor (x > 1 of §4.2), the synchronous excursion
+// amplitude, and the scheduler activation probability. They operate on
+// the internal protocol layer directly because the knobs are
+// deliberately not part of the public facade.
+
+func ablationPositions(n int, seed int64) []geom.Point {
+	rng := rand.New(rand.NewSource(seed))
+	return figures.RandomConfiguration(rng, n, float64(n)*12, 8)
+}
+
+func runAsyncN(positions []geom.Point, cfg protocol.AsyncNConfig, scheduler sim.Scheduler, payload []byte) (steps int, minDist float64, err error) {
+	n := len(positions)
+	behaviors, endpoints, err := protocol.NewAsyncN(n, cfg)
+	if err != nil {
+		return 0, 0, err
+	}
+	robots := make([]*sim.Robot, n)
+	for i := range robots {
+		robots[i] = &sim.Robot{Frame: geom.WorldFrame(), Sigma: 1e18, Behavior: behaviors[i]}
+	}
+	world, err := sim.NewWorld(sim.Config{Positions: positions, Robots: robots, RecordTrace: true})
+	if err != nil {
+		return 0, 0, err
+	}
+	if err := endpoints[0].Send(n-1, payload); err != nil {
+		return 0, 0, err
+	}
+	delivered := false
+	steps, _, err = world.Run(scheduler, stepBudget, func(*sim.World) bool {
+		if delivered {
+			return true
+		}
+		for _, r := range endpoints[n-1].Receive() {
+			if string(r.Payload) == string(payload) {
+				delivered = true
+			}
+		}
+		return delivered
+	})
+	if err != nil {
+		return 0, 0, err
+	}
+	if !delivered {
+		return 0, 0, fmt.Errorf("sweep: not delivered in %d steps", stepBudget)
+	}
+	return steps, world.Trace().MinPairwiseDistance(), nil
+}
+
+// AblationStepDivisor sweeps §4.2's x > 1: small divisors approach the
+// granular border quickly (long visible moves), large divisors keep
+// moves tiny. Delivery time is insensitive — the waiting, not the
+// moving, dominates — which is why the library defaults to a
+// border-safe 8.
+func AblationStepDivisor() (*render.Table, error) {
+	tbl := render.NewTable("step divisor", "steps", "min distance")
+	positions := ablationPositions(5, 21)
+	for _, x := range []float64{1.5, 2, 4, 8, 32} {
+		steps, minDist, err := runAsyncN(positions,
+			protocol.AsyncNConfig{StepDivisor: x},
+			sim.FirstSync{Inner: sim.NewRandomFair(2)},
+			[]byte{0xD1})
+		if err != nil {
+			return nil, fmt.Errorf("divisor %v: %w", x, err)
+		}
+		tbl.AddRow(x, steps, minDist)
+	}
+	return tbl, nil
+}
+
+// AblationAmplitude sweeps the synchronous excursion amplitude as a
+// fraction of the granular radius: delivery cost is flat (the decoder
+// is threshold-based), while the worst-case approach between robots
+// scales linearly — quantifying the safety margin the 0.6 default buys.
+func AblationAmplitude() (*render.Table, error) {
+	tbl := render.NewTable("amplitude frac", "steps", "min distance")
+	positions := ablationPositions(6, 23)
+	for _, frac := range []float64{0.1, 0.3, 0.6, 0.9} {
+		n := len(positions)
+		behaviors, endpoints, err := protocol.NewSyncN(n, protocol.SyncNConfig{AmplitudeFrac: frac})
+		if err != nil {
+			return nil, err
+		}
+		robots := make([]*sim.Robot, n)
+		for i := range robots {
+			robots[i] = &sim.Robot{Frame: geom.WorldFrame(), Sigma: 1e18, Behavior: behaviors[i]}
+		}
+		world, err := sim.NewWorld(sim.Config{Positions: positions, Robots: robots, RecordTrace: true})
+		if err != nil {
+			return nil, err
+		}
+		// All-to-all traffic maximises simultaneous excursions.
+		for i := 0; i < n; i++ {
+			if err := endpoints[i].Broadcast([]byte{byte(i)}); err != nil {
+				return nil, err
+			}
+		}
+		want := n * (n - 1)
+		got := 0
+		steps, _, err := world.Run(sim.Synchronous{}, stepBudget, func(*sim.World) bool {
+			for _, e := range endpoints {
+				got += len(e.Receive())
+			}
+			return got >= want
+		})
+		if err != nil {
+			return nil, err
+		}
+		if got < want {
+			return nil, fmt.Errorf("amplitude %v: %d of %d delivered", frac, got, want)
+		}
+		tbl.AddRow(frac, steps, world.Trace().MinPairwiseDistance())
+	}
+	return tbl, nil
+}
+
+// AblationActivation sweeps the random fair scheduler's activation
+// probability: sparse activation stretches asynchronous delivery
+// because each implicit acknowledgement waits for two observed changes
+// of every robot.
+func AblationActivation() (*render.Table, error) {
+	tbl := render.NewTable("activation p", "steps")
+	positions := ablationPositions(5, 25)
+	for _, p := range []float64{0.1, 0.25, 0.5, 0.75, 1.0} {
+		inner := sim.NewRandomFair(3)
+		inner.P = p
+		steps, _, err := runAsyncN(positions,
+			protocol.AsyncNConfig{},
+			sim.FirstSync{Inner: inner},
+			[]byte{0xD2})
+		if err != nil {
+			return nil, fmt.Errorf("p=%v: %w", p, err)
+		}
+		tbl.AddRow(p, steps)
+	}
+	return tbl, nil
+}

@@ -1,0 +1,43 @@
+package sweep
+
+import (
+	"fmt"
+
+	"waggle"
+	"waggle/internal/render"
+)
+
+// OneToAll is experiment C11: the §1 remark that the protocols adapt to
+// "efficiently" implement one-to-many/one-to-all. Broadcast as n-1
+// unicasts pays n-1 frames; SendAll transmits once on the sender's own
+// diameter (unused for unicast) and every robot, which decodes all
+// movements anyway, delivers it.
+func OneToAll() (*render.Table, error) {
+	payload := []byte{0xA1}
+	tbl := render.NewTable("n", "method", "excursions", "steps")
+	for _, n := range []int{4, 8, 16} {
+		for _, method := range []string{"broadcast (n-1 unicasts)", "sendall (single frame)"} {
+			s, err := waggle.NewSwarm(positionsFor(n, int64(50+n)), waggle.WithSynchronous(), waggle.WithSeed(int64(n)))
+			if err != nil {
+				return nil, err
+			}
+			if method[0] == 'b' {
+				err = s.Broadcast(0, payload)
+			} else {
+				err = s.SendAll(0, payload)
+			}
+			if err != nil {
+				return nil, err
+			}
+			got, steps, err := s.RunUntilQuiet(stepBudget)
+			if err != nil {
+				return nil, fmt.Errorf("%s n=%d: %w", method, n, err)
+			}
+			if len(got) != n-1 {
+				return nil, fmt.Errorf("%s n=%d: %d of %d delivered", method, n, len(got), n-1)
+			}
+			tbl.AddRow(n, method, s.SentBits(0), steps)
+		}
+	}
+	return tbl, nil
+}

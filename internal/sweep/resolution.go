@@ -1,0 +1,107 @@
+package sweep
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"waggle/internal/geom"
+	"waggle/internal/protocol"
+	"waggle/internal/render"
+	"waggle/internal/sim"
+)
+
+// Resolution is the §5 round-off experiment: robots that can only
+// realise/recognise a fixed number of movement directions. The direct
+// protocol needs 2(n+1) distinguishable directions, so its channels
+// start misrouting once the swarm outgrows the sensor (the quantization
+// error exceeds the half-sector width π/(2(n+1))); the bounded-slice
+// variant needs only 2(k+2) directions regardless of n — the exact
+// motivation the paper gives for it. Each row probes several
+// sender→recipient channels and reports the fraction that still
+// deliver.
+func Resolution() (*render.Table, error) {
+	const (
+		directions = 32
+		trials     = 6
+	)
+	tbl := render.NewTable("n", "variant", "directions needed", "delivery rate")
+	for _, n := range []int{6, 12, 20, 28} {
+		positions := ablationPositions(n, int64(40+n))
+		direct, err := resolutionRate(positions, 0, directions, trials)
+		if err != nil {
+			return nil, fmt.Errorf("direct n=%d: %w", n, err)
+		}
+		tbl.AddRow(n, "direct (§4.2)", 2*(n+1), direct)
+		bounded, err := resolutionRate(positions, 2, directions, trials)
+		if err != nil {
+			return nil, fmt.Errorf("bounded n=%d: %w", n, err)
+		}
+		tbl.AddRow(n, "bounded k=2 (§5)", 2*(2+2), bounded)
+	}
+	return tbl, nil
+}
+
+// resolutionRate probes `trials` channels (distinct recipients, random
+// per-robot frame rotations) and returns the delivered fraction.
+// boundedK == 0 selects the direct protocol.
+func resolutionRate(positions []geom.Point, boundedK, directions, trials int) (float64, error) {
+	n := len(positions)
+	delivered := 0
+	for trial := 0; trial < trials; trial++ {
+		to := 1 + trial%(n-1)
+		ok, err := resolutionDelivered(positions, boundedK, directions, to, int64(trial))
+		if err != nil {
+			return 0, err
+		}
+		if ok {
+			delivered++
+		}
+	}
+	return float64(delivered) / float64(trials), nil
+}
+
+func resolutionDelivered(positions []geom.Point, boundedK, directions, to int, seed int64) (bool, error) {
+	n := len(positions)
+	cfg := protocol.AsyncNConfig{DirectionResolution: directions}
+	var (
+		behaviors []sim.Behavior
+		endpoints []*protocol.Endpoint
+		err       error
+	)
+	if boundedK > 0 {
+		behaviors, endpoints, err = protocol.NewAsyncBounded(n, boundedK, cfg)
+	} else {
+		behaviors, endpoints, err = protocol.NewAsyncN(n, cfg)
+	}
+	if err != nil {
+		return false, err
+	}
+	rng := rand.New(rand.NewSource(seed))
+	robots := make([]*sim.Robot, n)
+	for i := range robots {
+		frame := geom.NewFrame(geom.Point{}, rng.Float64()*2*math.Pi, 1, geom.RightHanded)
+		robots[i] = &sim.Robot{Frame: frame, Sigma: 1e18, Behavior: behaviors[i]}
+	}
+	world, err := sim.NewWorld(sim.Config{Positions: positions, Robots: robots})
+	if err != nil {
+		return false, err
+	}
+	payload := []byte{0x9D}
+	if err := endpoints[0].Send(to, payload); err != nil {
+		return false, err
+	}
+	delivered := false
+	_, _, err = world.Run(sim.FirstSync{Inner: sim.NewRandomFair(seed)}, 50_000, func(*sim.World) bool {
+		for _, r := range endpoints[to].Receive() {
+			if r.From == 0 && string(r.Payload) == string(payload) {
+				delivered = true
+			}
+		}
+		return delivered
+	})
+	if err != nil {
+		return false, err
+	}
+	return delivered, nil
+}

@@ -1,0 +1,89 @@
+package sweep
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func TestNamesAllRunnable(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full sweeps")
+	}
+	for _, name := range Names() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			tbl, err := Run(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(strings.Split(strings.TrimSpace(tbl.CSV()), "\n")) < 2 {
+				t.Error("empty table")
+			}
+		})
+	}
+}
+
+func TestRunUnknown(t *testing.T) {
+	if _, err := Run("bogus"); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+}
+
+func TestLevelsShape(t *testing.T) {
+	tbl, err := Levels()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// C3's claim: within each swarm variant, steps shrink monotonically
+	// as the level count grows.
+	rows := csvRows(tbl.CSV())
+	prev := map[string]int{}
+	for _, r := range rows {
+		steps, err := strconv.Atoi(r[3])
+		if err != nil {
+			t.Fatal(err)
+		}
+		group := r[0]
+		if last, seen := prev[group]; seen && steps >= last {
+			t.Errorf("group %q: steps not decreasing: %v", group, rows)
+		}
+		prev[group] = steps
+	}
+}
+
+func TestSilenceShape(t *testing.T) {
+	tbl, err := Silence()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := csvRows(tbl.CSV())
+	if rows[0][3] != "true" {
+		t.Errorf("synchronous protocol not silent: %v", rows[0])
+	}
+	if rows[1][3] != "false" {
+		t.Errorf("asynchronous protocol reported silent: %v", rows[1])
+	}
+}
+
+func TestDriftShape(t *testing.T) {
+	tbl, err := Drift()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := csvRows(tbl.CSV())
+	away, _ := strconv.ParseFloat(rows[0][3], 64)
+	alt, _ := strconv.ParseFloat(rows[1][3], 64)
+	if away <= 3*alt {
+		t.Errorf("drift-away separation %v not much larger than alternating %v", away, alt)
+	}
+}
+
+func csvRows(csv string) [][]string {
+	lines := strings.Split(strings.TrimSpace(csv), "\n")
+	var rows [][]string
+	for _, l := range lines[1:] {
+		rows = append(rows, strings.Split(l, ","))
+	}
+	return rows
+}

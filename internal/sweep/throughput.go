@@ -1,0 +1,54 @@
+package sweep
+
+import (
+	"fmt"
+
+	"waggle"
+	"waggle/internal/render"
+	"waggle/internal/workload"
+)
+
+// Throughput measures aggregate channel capacity under different traffic
+// patterns: total frame bits delivered per time instant for a
+// synchronous swarm. Because every robot owns its granular, senders
+// transmit simultaneously without interference — the aggregate
+// throughput grows with the number of concurrently-sending robots
+// (spatial reuse), peaking for all-to-all traffic and degenerating to a
+// single sender's 0.5 bit/instant under the hotspot's sink... which
+// still receives everything, just serialised per sender.
+func Throughput() (*render.Table, error) {
+	tbl := render.NewTable("pattern", "n", "messages", "total bits", "steps", "bits/instant")
+	for _, pattern := range []workload.Pattern{workload.Ring, workload.Hotspot, workload.AllToAll, workload.RandomPairs} {
+		n := 8
+		cfg := workload.Config{
+			Pattern:    pattern,
+			N:          n,
+			Messages:   n * 2,
+			PayloadLen: 4,
+			Seed:       31,
+		}
+		msgs, err := workload.Generate(cfg)
+		if err != nil {
+			return nil, err
+		}
+		s, err := waggle.NewSwarm(positionsFor(n, 31), waggle.WithSynchronous(), waggle.WithSeed(31))
+		if err != nil {
+			return nil, err
+		}
+		for _, m := range msgs {
+			if err := s.Send(m.From, m.To, m.Payload); err != nil {
+				return nil, err
+			}
+		}
+		delivered, steps, err := s.RunUntilQuiet(stepBudget)
+		if err != nil {
+			return nil, fmt.Errorf("%v: %w", pattern, err)
+		}
+		if len(delivered) != len(msgs) {
+			return nil, fmt.Errorf("%v: delivered %d of %d", pattern, len(delivered), len(msgs))
+		}
+		bits := workload.TotalBits(msgs)
+		tbl.AddRow(pattern.String(), n, len(msgs), bits, steps, float64(bits)/float64(steps))
+	}
+	return tbl, nil
+}

@@ -1,0 +1,78 @@
+package sweep
+
+import (
+	"fmt"
+	"math"
+
+	"waggle/internal/geom"
+	"waggle/internal/protocol"
+	"waggle/internal/render"
+	"waggle/internal/sim"
+)
+
+// Visibility probes the §5 open problem — "Can one-to-one communication
+// be achieved by a team of robots with limited visibility?" — by
+// running the unmodified full-visibility protocols on robots whose
+// sensors are range-limited. The protocols' preprocessing (granulars,
+// SEC naming) and change counting silently consume censored views, so
+// delivery collapses once the sensor radius falls below the swarm
+// diameter: a measured statement of why the problem is open, not a
+// solution to it.
+func Visibility() (*render.Table, error) {
+	n := 6
+	positions := ablationPositions(n, 61)
+	// Swarm diameter for reference.
+	diameter := 0.0
+	for i := range positions {
+		for j := i + 1; j < len(positions); j++ {
+			diameter = math.Max(diameter, positions[i].Dist(positions[j]))
+		}
+	}
+	tbl := render.NewTable("sensor radius / diameter", "delivered")
+	for _, frac := range []float64{1.1, 0.8, 0.5, 0.3} {
+		ok, err := visibilityDelivered(positions, frac*diameter)
+		if err != nil {
+			return nil, fmt.Errorf("radius %.1f: %w", frac, err)
+		}
+		tbl.AddRow(frac, ok)
+	}
+	return tbl, nil
+}
+
+func visibilityDelivered(positions []geom.Point, radius float64) (bool, error) {
+	n := len(positions)
+	behaviors, endpoints, err := protocol.NewSyncN(n, protocol.SyncNConfig{})
+	if err != nil {
+		return false, err
+	}
+	robots := make([]*sim.Robot, n)
+	for i := range robots {
+		robots[i] = &sim.Robot{
+			Frame:     geom.WorldFrame(),
+			Sigma:     1e18,
+			VisRadius: radius,
+			Behavior:  behaviors[i],
+		}
+	}
+	world, err := sim.NewWorld(sim.Config{Positions: positions, Robots: robots})
+	if err != nil {
+		return false, err
+	}
+	payload := []byte{0x44}
+	if err := endpoints[0].Send(n-1, payload); err != nil {
+		return false, err
+	}
+	delivered := false
+	_, _, err = world.Run(sim.Synchronous{}, 50_000, func(*sim.World) bool {
+		for _, r := range endpoints[n-1].Receive() {
+			if r.From == 0 && string(r.Payload) == string(payload) {
+				delivered = true
+			}
+		}
+		return delivered
+	})
+	if err != nil {
+		return false, err
+	}
+	return delivered, nil
+}

@@ -1,0 +1,38 @@
+package voronoi
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"waggle/internal/geom"
+)
+
+func BenchmarkNew(b *testing.B) {
+	for _, n := range []int{16, 64, 256} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			rng := rand.New(rand.NewSource(1))
+			sites := randomSites(rng, n)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := New(sites); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkLocate(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	d, err := New(randomSites(rng, 64))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.Locate(geom.Pt(float64(i%100), float64(i%97)))
+	}
+}

@@ -1,0 +1,140 @@
+// Package workload generates message traffic patterns for the
+// throughput experiments and benchmarks: who talks to whom, how much,
+// with reproducible randomness.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Pattern is a traffic shape.
+type Pattern int
+
+// Traffic patterns.
+const (
+	// Ring sends messages around a ring: i -> (i+1) mod n.
+	Ring Pattern = iota + 1
+	// Hotspot directs all traffic at robot 0 (a sink collecting
+	// reports).
+	Hotspot
+	// AllToAll has every robot message every other robot.
+	AllToAll
+	// RandomPairs draws independent (sender, recipient) pairs.
+	RandomPairs
+)
+
+// String implements fmt.Stringer.
+func (p Pattern) String() string {
+	switch p {
+	case Ring:
+		return "ring"
+	case Hotspot:
+		return "hotspot"
+	case AllToAll:
+		return "all-to-all"
+	case RandomPairs:
+		return "random-pairs"
+	default:
+		return fmt.Sprintf("Pattern(%d)", int(p))
+	}
+}
+
+// ParsePattern parses a pattern name.
+func ParsePattern(s string) (Pattern, error) {
+	switch s {
+	case "ring":
+		return Ring, nil
+	case "hotspot":
+		return Hotspot, nil
+	case "all-to-all", "alltoall":
+		return AllToAll, nil
+	case "random-pairs", "random":
+		return RandomPairs, nil
+	default:
+		return 0, fmt.Errorf("workload: unknown pattern %q", s)
+	}
+}
+
+// Message is one unit of traffic.
+type Message struct {
+	From, To int
+	Payload  []byte
+}
+
+// Config parameterises a workload.
+type Config struct {
+	// Pattern selects the traffic shape.
+	Pattern Pattern
+	// N is the swarm size (>= 2).
+	N int
+	// Messages is the total message count; AllToAll ignores it and
+	// produces exactly N*(N-1) messages.
+	Messages int
+	// PayloadLen is the payload size in bytes (>= 0).
+	PayloadLen int
+	// Seed drives the payload bytes and the RandomPairs draws.
+	Seed int64
+}
+
+// Generate produces the workload's message list.
+func Generate(cfg Config) ([]Message, error) {
+	if cfg.N < 2 {
+		return nil, fmt.Errorf("workload: n = %d, need >= 2", cfg.N)
+	}
+	if cfg.PayloadLen < 0 {
+		return nil, fmt.Errorf("workload: negative payload length %d", cfg.PayloadLen)
+	}
+	if cfg.Pattern != AllToAll && cfg.Messages <= 0 {
+		return nil, fmt.Errorf("workload: message count %d, need > 0", cfg.Messages)
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	payload := func() []byte {
+		b := make([]byte, cfg.PayloadLen)
+		rng.Read(b)
+		return b
+	}
+	var out []Message
+	switch cfg.Pattern {
+	case Ring:
+		for m := 0; m < cfg.Messages; m++ {
+			from := m % cfg.N
+			out = append(out, Message{From: from, To: (from + 1) % cfg.N, Payload: payload()})
+		}
+	case Hotspot:
+		for m := 0; m < cfg.Messages; m++ {
+			from := 1 + m%(cfg.N-1)
+			out = append(out, Message{From: from, To: 0, Payload: payload()})
+		}
+	case AllToAll:
+		for from := 0; from < cfg.N; from++ {
+			for to := 0; to < cfg.N; to++ {
+				if from != to {
+					out = append(out, Message{From: from, To: to, Payload: payload()})
+				}
+			}
+		}
+	case RandomPairs:
+		for m := 0; m < cfg.Messages; m++ {
+			from := rng.Intn(cfg.N)
+			to := rng.Intn(cfg.N - 1)
+			if to >= from {
+				to++
+			}
+			out = append(out, Message{From: from, To: to, Payload: payload()})
+		}
+	default:
+		return nil, fmt.Errorf("workload: unknown pattern %v", cfg.Pattern)
+	}
+	return out, nil
+}
+
+// TotalBits returns the number of frame bits the workload occupies on
+// the movement channel (16-bit header per message plus the payloads).
+func TotalBits(msgs []Message) int {
+	bits := 0
+	for _, m := range msgs {
+		bits += 16 + 8*len(m.Payload)
+	}
+	return bits
+}

@@ -1,0 +1,145 @@
+package workload
+
+import (
+	"testing"
+)
+
+func TestGenerateValidation(t *testing.T) {
+	tests := []struct {
+		name string
+		cfg  Config
+	}{
+		{"n too small", Config{Pattern: Ring, N: 1, Messages: 1}},
+		{"no messages", Config{Pattern: Ring, N: 3}},
+		{"negative payload", Config{Pattern: Ring, N: 3, Messages: 1, PayloadLen: -1}},
+		{"unknown pattern", Config{Pattern: Pattern(99), N: 3, Messages: 1}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := Generate(tt.cfg); err == nil {
+				t.Error("invalid config accepted")
+			}
+		})
+	}
+}
+
+func TestRing(t *testing.T) {
+	msgs, err := Generate(Config{Pattern: Ring, N: 3, Messages: 6, PayloadLen: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(msgs) != 6 {
+		t.Fatalf("got %d messages", len(msgs))
+	}
+	for i, m := range msgs {
+		if m.From != i%3 || m.To != (i+1)%3 {
+			t.Errorf("message %d: %d -> %d", i, m.From, m.To)
+		}
+		if len(m.Payload) != 2 {
+			t.Errorf("message %d payload len %d", i, len(m.Payload))
+		}
+	}
+}
+
+func TestHotspot(t *testing.T) {
+	msgs, err := Generate(Config{Pattern: Hotspot, N: 4, Messages: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, m := range msgs {
+		if m.To != 0 {
+			t.Errorf("message %d addressed to %d, want 0", i, m.To)
+		}
+		if m.From == 0 {
+			t.Errorf("message %d sent by the sink", i)
+		}
+	}
+}
+
+func TestAllToAll(t *testing.T) {
+	msgs, err := Generate(Config{Pattern: AllToAll, N: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(msgs) != 12 {
+		t.Fatalf("got %d messages, want 12", len(msgs))
+	}
+	seen := map[[2]int]bool{}
+	for _, m := range msgs {
+		if m.From == m.To {
+			t.Errorf("self message %d -> %d", m.From, m.To)
+		}
+		key := [2]int{m.From, m.To}
+		if seen[key] {
+			t.Errorf("duplicate pair %v", key)
+		}
+		seen[key] = true
+	}
+}
+
+func TestRandomPairsNoSelfSend(t *testing.T) {
+	msgs, err := Generate(Config{Pattern: RandomPairs, N: 5, Messages: 500, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[int]int{}
+	for _, m := range msgs {
+		if m.From == m.To {
+			t.Fatal("self send generated")
+		}
+		if m.From < 0 || m.From >= 5 || m.To < 0 || m.To >= 5 {
+			t.Fatalf("out of range pair %d -> %d", m.From, m.To)
+		}
+		counts[m.From]++
+	}
+	// Rough uniformity: every robot sends something.
+	for i := 0; i < 5; i++ {
+		if counts[i] == 0 {
+			t.Errorf("robot %d never sends in 500 draws", i)
+		}
+	}
+}
+
+func TestDeterministicPerSeed(t *testing.T) {
+	a, err := Generate(Config{Pattern: RandomPairs, N: 4, Messages: 20, PayloadLen: 4, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(Config{Pattern: RandomPairs, N: 4, Messages: 20, PayloadLen: 4, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i].From != b[i].From || a[i].To != b[i].To || string(a[i].Payload) != string(b[i].Payload) {
+			t.Fatalf("message %d diverged", i)
+		}
+	}
+}
+
+func TestTotalBits(t *testing.T) {
+	msgs := []Message{
+		{Payload: make([]byte, 1)},
+		{Payload: make([]byte, 4)},
+		{Payload: nil},
+	}
+	if got := TotalBits(msgs); got != 16+8+16+32+16 {
+		t.Errorf("TotalBits = %d, want 88", got)
+	}
+}
+
+func TestPatternStrings(t *testing.T) {
+	for p, want := range map[Pattern]string{
+		Ring: "ring", Hotspot: "hotspot", AllToAll: "all-to-all", RandomPairs: "random-pairs",
+	} {
+		if p.String() != want {
+			t.Errorf("String(%d) = %q", int(p), p.String())
+		}
+		got, err := ParsePattern(want)
+		if err != nil || got != p {
+			t.Errorf("ParsePattern(%q) = %v, %v", want, got, err)
+		}
+	}
+	if _, err := ParsePattern("nope"); err == nil {
+		t.Error("bad pattern parsed")
+	}
+}

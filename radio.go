@@ -1,0 +1,89 @@
+package waggle
+
+import (
+	"errors"
+
+	"waggle/internal/core"
+)
+
+// ErrRadioFailed is returned by Radio.Send when a transmission is lost.
+var ErrRadioFailed = core.ErrRadioFailed
+
+// Radio simulates the conventional wireless device the paper's robots
+// may carry, with injectable faults: broken transmitters and
+// environment jamming. It exists for the fault-tolerance scenario —
+// movement signalling as a communication backup (§1).
+type Radio struct {
+	inner *core.Radio
+}
+
+// NewRadio creates a radio network for n robots; seed drives the
+// jamming randomness.
+func NewRadio(n int, seed int64) *Radio {
+	return &Radio{inner: core.NewRadio(n, seed)}
+}
+
+// SetJamming sets the probability that any single transmission is lost
+// to interference.
+func (r *Radio) SetJamming(p float64) { r.inner.JamProb = p }
+
+// Break permanently disables robot i's transmitter.
+func (r *Radio) Break(i int) { r.inner.Break(i) }
+
+// Repair restores robot i's transmitter.
+func (r *Radio) Repair(i int) { r.inner.Repair(i) }
+
+// Broken reports whether robot i's transmitter is out of order.
+func (r *Radio) Broken(i int) bool { return r.inner.Broken(i) }
+
+// Send transmits a message over the radio, returning ErrRadioFailed when
+// it is lost.
+func (r *Radio) Send(from, to int, payload []byte) error {
+	return r.inner.Send(from, to, payload)
+}
+
+// Receive drains robot i's radio inbox.
+func (r *Radio) Receive(i int) []Message {
+	msgs := r.inner.Receive(i)
+	out := make([]Message, len(msgs))
+	for j, m := range msgs {
+		out[j] = Message{From: m.From, To: m.To, Payload: m.Payload}
+	}
+	return out
+}
+
+// Stats returns (sent, delivered, lost) counters.
+func (r *Radio) Stats() (sent, delivered, lost int) { return r.inner.Stats() }
+
+// BackupMessenger sends over the radio when it works and falls back to
+// movement signalling when it does not — the paper's fault-tolerance
+// application.
+type BackupMessenger struct {
+	inner *core.BackupMessenger
+	swarm *Swarm
+}
+
+// NewBackupMessenger couples a radio with a swarm of the same size.
+func NewBackupMessenger(radio *Radio, swarm *Swarm) (*BackupMessenger, error) {
+	if radio == nil || swarm == nil {
+		return nil, errors.New("waggle: nil radio or swarm")
+	}
+	inner, err := core.NewBackupMessenger(radio.inner, swarm.network())
+	if err != nil {
+		return nil, err
+	}
+	return &BackupMessenger{inner: inner, swarm: swarm}, nil
+}
+
+// Send delivers the message over the radio if possible, otherwise
+// queues it on the movement channel; drive the swarm (Step /
+// RunUntil...) to complete movement deliveries.
+func (b *BackupMessenger) Send(from, to int, payload []byte) error {
+	return b.inner.Send(from, to, payload)
+}
+
+// Swarm returns the movement channel.
+func (b *BackupMessenger) Swarm() *Swarm { return b.swarm }
+
+// Stats returns how many messages went over each channel.
+func (b *BackupMessenger) Stats() (viaRadio, viaMovement int) { return b.inner.Stats() }
