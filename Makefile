@@ -1,0 +1,25 @@
+# Repo-level CI targets. `make verify` is the tier-1 gate: build, vet,
+# and the full test suite under the race detector (the parallel step
+# engine and the concurrent sweep harness are exercised by it).
+
+GO ?= go
+
+.PHONY: verify build vet test race bench
+
+verify: build vet race
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# The speedup benchmarks for the parallel engine and sweep harness.
+bench:
+	$(GO) test -run xxx -bench 'BenchmarkStepParallel|BenchmarkSweepParallel' -benchmem .

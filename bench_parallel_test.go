@@ -1,0 +1,29 @@
+package waggle_test
+
+import (
+	"runtime"
+	"testing"
+
+	"waggle/internal/sweep"
+)
+
+// BenchmarkSweepParallel measures the harness half of the tentpole:
+// the same batch of independent seeded experiments executed serially
+// versus over the worker pool. It lives in the external test package
+// because internal/sweep imports waggle.
+func BenchmarkSweepParallel(b *testing.B) {
+	batch := []string{"silence", "drift", "msgsize", "onetoall"}
+	for _, workers := range []int{1, runtime.GOMAXPROCS(0)} {
+		name := "serial"
+		if workers > 1 {
+			name = "parallel"
+		}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := sweep.RunAll(batch, workers); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

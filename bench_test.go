@@ -261,3 +261,42 @@ func BenchmarkSimulatorStep(b *testing.B) {
 		})
 	}
 }
+
+// BenchmarkStepParallel measures the tentpole: per-instant simulator
+// cost with the compute phase sequential versus fanned out over the
+// GOMAXPROCS worker pool, at swarm sizes where the O(n) per-robot view
+// dominates. Synchronous scheduling activates all n robots every
+// instant — the parallel engine's best case and the sweep harness's
+// common case. (BenchmarkSweepParallel, the experiment-level
+// counterpart, lives in bench_parallel_test.go: the sweep package
+// imports waggle, so it needs the external test package.)
+func BenchmarkStepParallel(b *testing.B) {
+	for _, n := range []int{64, 128, 256} {
+		for _, engine := range []struct {
+			name string
+			opt  Option
+		}{
+			{"sequential", WithEngine(EngineSequential)},
+			{"parallel", WithEngine(EngineParallel)},
+		} {
+			b.Run(fmt.Sprintf("n=%d/%s", n, engine.name), func(b *testing.B) {
+				s, err := NewSwarm(benchPositions(n, 1), WithSynchronous(), WithSeed(1), engine.opt)
+				if err != nil {
+					b.Fatal(err)
+				}
+				// Warm up: first instant runs preprocessing (Voronoi,
+				// SEC, naming) and allocates the reusable buffers.
+				if err := s.Step(); err != nil {
+					b.Fatal(err)
+				}
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if err := s.Step(); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}

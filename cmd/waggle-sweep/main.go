@@ -2,11 +2,16 @@
 // (C3-C8 plus scaling sweeps) and prints their tables — the data
 // recorded in EXPERIMENTS.md.
 //
+// Independent experiments run concurrently over a worker pool; the
+// tables are always printed in request order, and the first failing
+// experiment (in that order) aborts the command.
+//
 // Usage:
 //
-//	waggle-sweep                 # all experiments
+//	waggle-sweep                 # all experiments, GOMAXPROCS-way parallel
 //	waggle-sweep -exp levels     # one experiment
 //	waggle-sweep -exp drift -csv # machine-readable output
+//	waggle-sweep -workers 1      # serial execution
 package main
 
 import (
@@ -18,30 +23,31 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "", "experiment name (empty = all): levels|slices|drift|silence|backup|latency|msgsize")
+	exp := flag.String("exp", "", "experiment name (empty = all): levels|slices|drift|silence|backup|latency|msgsize|...")
 	csv := flag.Bool("csv", false, "emit CSV instead of an aligned table")
+	workers := flag.Int("workers", 0, "concurrent experiments (0 = GOMAXPROCS)")
 	flag.Parse()
-	if err := run(*exp, *csv); err != nil {
+	if err := run(*exp, *csv, *workers); err != nil {
 		fmt.Fprintln(os.Stderr, "waggle-sweep:", err)
 		os.Exit(1)
 	}
 }
 
-func run(exp string, csv bool) error {
+func run(exp string, csv bool, workers int) error {
 	names := sweep.Names()
 	if exp != "" {
 		names = []string{exp}
 	}
-	for _, name := range names {
-		tbl, err := sweep.Run(name)
-		if err != nil {
-			return err
-		}
-		fmt.Printf("== %s ==\n", name)
+	results, err := sweep.RunAll(names, workers)
+	if err != nil {
+		return err
+	}
+	for _, r := range results {
+		fmt.Printf("== %s ==\n", r.Name)
 		if csv {
-			fmt.Print(tbl.CSV())
+			fmt.Print(r.Table.CSV())
 		} else {
-			fmt.Print(tbl.String())
+			fmt.Print(r.Table.String())
 		}
 		fmt.Println()
 	}

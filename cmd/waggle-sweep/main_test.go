@@ -3,16 +3,16 @@ package main
 import "testing"
 
 func TestRunOneExperiment(t *testing.T) {
-	if err := run("silence", false); err != nil {
+	if err := run("silence", false, 1); err != nil {
 		t.Error(err)
 	}
-	if err := run("levels", true); err != nil {
+	if err := run("levels", true, 0); err != nil {
 		t.Error(err)
 	}
 }
 
 func TestRunUnknownExperiment(t *testing.T) {
-	if err := run("nope", false); err == nil {
+	if err := run("nope", false, 1); err == nil {
 		t.Error("unknown experiment accepted")
 	}
 }

@@ -122,3 +122,54 @@ func TestRandomizedEndToEnd(t *testing.T) {
 		})
 	}
 }
+
+// TestGoldenEngineParity is the acceptance gate for the parallel step
+// engine: the same seed and scheduler must produce a byte-for-byte
+// identical execution — step count, every recorded move, every final
+// position — whether the moves are computed sequentially or over the
+// worker pool.
+func TestGoldenEngineParity(t *testing.T) {
+	positions := []Point{{X: 0, Y: 0}, {X: 24, Y: 6}, {X: 10, Y: 28}, {X: 30, Y: 30}, {X: -20, Y: 14}, {X: 8, Y: -22}}
+	runWith := func(mode EngineMode) (*Swarm, int) {
+		t.Helper()
+		s, err := NewSwarm(positions, WithSeed(4242), WithTrace(), WithEngine(mode))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Send(0, 3, []byte("PARITY")); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Send(2, 5, []byte("CHECK")); err != nil {
+			t.Fatal(err)
+		}
+		msgs, steps, err := s.RunUntilDelivered(2, 5_000_000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(msgs) != 2 {
+			t.Fatalf("%v: %d messages", mode, len(msgs))
+		}
+		return s, steps
+	}
+	seq, seqSteps := runWith(EngineSequential)
+	par, parSteps := runWith(EngineParallel)
+	if seqSteps != parSteps {
+		t.Fatalf("step counts diverged: sequential %d, parallel %d", seqSteps, parSteps)
+	}
+	p1, p2 := seq.Positions(), par.Positions()
+	for i := range p1 {
+		if p1[i] != p2[i] {
+			t.Errorf("robot %d final position diverged: %v vs %v", i, p1[i], p2[i])
+		}
+	}
+	var seqTrace, parTrace bytes.Buffer
+	if err := seq.WriteTraceCSV(&seqTrace); err != nil {
+		t.Fatal(err)
+	}
+	if err := par.WriteTraceCSV(&parTrace); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(seqTrace.Bytes(), parTrace.Bytes()) {
+		t.Error("recorded traces differ between sequential and parallel engines")
+	}
+}

@@ -26,6 +26,12 @@ type Network struct {
 	endpoints []*protocol.Endpoint
 
 	delivered []protocol.Received
+	// consumed is the cursor separating deliveries already handed out by
+	// a RunUntil* call from those still pending. Without it, a call that
+	// awaited `count` messages while more landed in the same final step
+	// would strand the surplus: the next call's window used to start at
+	// len(delivered), silently skipping them.
+	consumed int
 }
 
 // NewNetwork assembles a network. The endpoints must be the ones
@@ -84,50 +90,57 @@ func (n *Network) Step() error {
 	return nil
 }
 
-// RunUntilDelivered advances the simulation until the given number of
-// messages (counted from the start of the run) has been delivered, or
-// the step budget runs out. It returns the deliveries and the number of
-// instants executed.
+// RunUntilDelivered advances the simulation until `count` messages are
+// available past the consumption cursor, or the step budget runs out.
+// It returns the deliveries — oldest unconsumed first, including any
+// that arrived before this call but were never returned (e.g. surplus
+// messages that landed in the same step a previous call stopped at) —
+// and the number of instants executed.
 func (n *Network) RunUntilDelivered(count, maxSteps int) ([]protocol.Received, int, error) {
 	n.collect()
-	start := len(n.delivered)
 	for step := 0; step < maxSteps; step++ {
-		if len(n.delivered)-start >= count {
-			out := make([]protocol.Received, count)
-			copy(out, n.delivered[start:start+count])
-			return out, step, nil
+		if len(n.delivered)-n.consumed >= count {
+			return n.consume(count), step, nil
 		}
 		if err := n.Step(); err != nil {
 			return nil, step, err
 		}
 	}
-	if len(n.delivered)-start >= count {
-		out := make([]protocol.Received, count)
-		copy(out, n.delivered[start:start+count])
-		return out, maxSteps, nil
+	if len(n.delivered)-n.consumed >= count {
+		return n.consume(count), maxSteps, nil
 	}
 	return nil, maxSteps, fmt.Errorf("%w: %d of %d after %d steps",
-		ErrNotDelivered, len(n.delivered)-start, count, maxSteps)
+		ErrNotDelivered, len(n.delivered)-n.consumed, count, maxSteps)
 }
 
 // RunUntilQuiet advances the simulation until every endpoint is idle
-// (nothing queued or in flight), bounded by maxSteps. It returns all
-// messages delivered during the run.
+// (nothing queued or in flight), bounded by maxSteps. It returns every
+// message not yet handed out by a previous RunUntil* call — deliveries
+// collected before the run started included — plus those delivered
+// during the run.
 func (n *Network) RunUntilQuiet(maxSteps int) ([]protocol.Received, int, error) {
 	n.collect()
-	start := len(n.delivered)
 	for step := 0; step < maxSteps; step++ {
 		if n.allIdle() {
-			return append([]protocol.Received(nil), n.delivered[start:]...), step, nil
+			return n.consume(len(n.delivered) - n.consumed), step, nil
 		}
 		if err := n.Step(); err != nil {
 			return nil, step, err
 		}
 	}
 	if n.allIdle() {
-		return append([]protocol.Received(nil), n.delivered[start:]...), maxSteps, nil
+		return n.consume(len(n.delivered) - n.consumed), maxSteps, nil
 	}
 	return nil, maxSteps, fmt.Errorf("%w: endpoints still busy after %d steps", ErrNotDelivered, maxSteps)
+}
+
+// consume hands out the next `count` deliveries past the cursor and
+// advances it.
+func (n *Network) consume(count int) []protocol.Received {
+	out := make([]protocol.Received, count)
+	copy(out, n.delivered[n.consumed:n.consumed+count])
+	n.consumed += count
+	return out
 }
 
 // Delivered returns every message delivered so far, in order.

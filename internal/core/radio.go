@@ -49,14 +49,34 @@ func NewRadio(n int, seed int64) *Radio {
 }
 
 // Break permanently disables robot i's transmitter (a faulty wireless
-// device).
-func (r *Radio) Break(i int) { r.broken[i] = true }
+// device). Like Send, it reports out-of-range indices as an error
+// instead of panicking.
+func (r *Radio) Break(i int) error {
+	if i < 0 || i >= r.n {
+		return fmt.Errorf("core: radio robot %d out of range [0,%d)", i, r.n)
+	}
+	r.broken[i] = true
+	return nil
+}
 
-// Repair restores robot i's transmitter.
-func (r *Radio) Repair(i int) { r.broken[i] = false }
+// Repair restores robot i's transmitter. Like Send, it reports
+// out-of-range indices as an error instead of panicking.
+func (r *Radio) Repair(i int) error {
+	if i < 0 || i >= r.n {
+		return fmt.Errorf("core: radio robot %d out of range [0,%d)", i, r.n)
+	}
+	r.broken[i] = false
+	return nil
+}
 
 // Broken reports whether robot i's transmitter is out of order.
-func (r *Radio) Broken(i int) bool { return r.broken[i] }
+// Out-of-range indices report false (no such robot, hence no fault).
+func (r *Radio) Broken(i int) bool {
+	if i < 0 || i >= r.n {
+		return false
+	}
+	return r.broken[i]
+}
 
 // Send transmits a message, returning ErrRadioFailed when it is lost
 // (broken transmitter or jamming).

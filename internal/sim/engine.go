@@ -1,0 +1,183 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"waggle/internal/geom"
+)
+
+// EngineMode selects how World.Step computes the moves of an instant's
+// active robots. All modes produce byte-for-byte identical executions:
+// every destination is a pure function of the shared snapshot and the
+// robot's own private state, and moves are applied in activation order
+// after a barrier, so only wall-clock time differs between modes.
+type EngineMode int
+
+const (
+	// EngineAuto picks per instant: parallel when the activation set is
+	// large enough to amortise goroutine overhead on a multi-core host
+	// (at least parallelMinActive robots and GOMAXPROCS > 1),
+	// sequential otherwise. This is the default.
+	EngineAuto EngineMode = iota
+	// EngineSequential computes every move on the calling goroutine.
+	EngineSequential
+	// EngineParallel always fans the compute phase out over a worker
+	// pool sized to GOMAXPROCS.
+	EngineParallel
+)
+
+// String implements fmt.Stringer.
+func (m EngineMode) String() string {
+	switch m {
+	case EngineAuto:
+		return "auto"
+	case EngineSequential:
+		return "sequential"
+	case EngineParallel:
+		return "parallel"
+	default:
+		return fmt.Sprintf("EngineMode(%d)", int(m))
+	}
+}
+
+// parallelMinActive is the activation-set size below which EngineAuto
+// stays sequential: for small sets the per-step goroutine fan-out costs
+// more than the O(n) view construction it parallelises.
+const parallelMinActive = 32
+
+// viewScratch holds one robot's reusable view buffers. Each robot owns
+// exactly one scratch slot, so concurrent workers never share one; the
+// slices handed to Behavior.Step stay valid (and unchanging) until that
+// same robot's next activation.
+type viewScratch struct {
+	points  []geom.Point
+	ids     []int
+	visible []bool
+}
+
+// SetEngine switches the step-engine mode. Safe between steps; the mode
+// never changes the computed execution, only how it is computed.
+func (w *World) SetEngine(m EngineMode) { w.engine = m }
+
+// Engine returns the current step-engine mode.
+func (w *World) Engine() EngineMode { return w.engine }
+
+// useParallel decides whether this instant's compute phase fans out.
+func (w *World) useParallel(activeLen int) bool {
+	switch w.engine {
+	case EngineSequential:
+		return false
+	case EngineParallel:
+		return activeLen > 1
+	default:
+		return activeLen >= parallelMinActive && runtime.GOMAXPROCS(0) > 1
+	}
+}
+
+// computeMoves fills w.dests[k] / w.errs[k] with the destination of
+// active[k], either in place or over a worker pool. Workers pull
+// indices from an atomic counter (work stealing), but every result is
+// written to its own slot, so the outcome is independent of scheduling.
+func (w *World) computeMoves(active []int) {
+	if !w.useParallel(len(active)) {
+		for k, i := range active {
+			w.dests[k], w.errs[k] = w.computeMove(i)
+		}
+		return
+	}
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(active) {
+		workers = len(active)
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for wk := 0; wk < workers; wk++ {
+		go func() {
+			defer wg.Done()
+			for {
+				k := int(next.Add(1)) - 1
+				if k >= len(active) {
+					return
+				}
+				w.dests[k], w.errs[k] = w.safeComputeMove(active[k])
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// safeComputeMove converts a behavior panic into an error: inside a
+// worker goroutine an unrecovered panic would kill the process without
+// unwinding the caller.
+func (w *World) safeComputeMove(i int) (dest geom.Point, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("sim: robot %d behavior panicked: %v", i, r)
+		}
+	}()
+	return w.computeMove(i)
+}
+
+// computeMove runs robot i's observe–compute–clamp cycle against the
+// current snapshot. It touches only the snapshot (read-only during the
+// compute phase), robot i's scratch slot, and robot i's private state.
+func (w *World) computeMove(i int) (geom.Point, error) {
+	r := w.robots[i]
+	view := w.localView(i, w.snapshot)
+	localDest := r.Behavior.Step(view)
+	worldDest := r.Frame.ToWorld(localDest)
+	// Reject non-finite destinations before the sigma clamp: NaN
+	// survives the clamp (every comparison with NaN is false) and an
+	// infinite delta turns into NaN inside it, so either would silently
+	// corrupt the configuration.
+	if !isFinite(worldDest) {
+		return geom.Point{}, fmt.Errorf("sim: robot %d returned non-finite destination %v (local %v)", i, worldDest, localDest)
+	}
+	// Clamp to the per-activation bound sigma.
+	delta := worldDest.Sub(w.snapshot[i])
+	if d := delta.Len(); d > r.Sigma {
+		worldDest = w.snapshot[i].Add(delta.Scale(r.Sigma / d))
+	}
+	return worldDest, nil
+}
+
+// prepareStep sizes the reusable snapshot/destination/error buffers for
+// an instant with the given activation-set size.
+func (w *World) prepareStep(activeLen int) {
+	n := len(w.pos)
+	if w.snapshot == nil {
+		w.snapshot = make([]geom.Point, n)
+	}
+	copy(w.snapshot, w.pos)
+	if cap(w.dests) < activeLen {
+		w.dests = make([]geom.Point, activeLen)
+		w.errs = make([]error, activeLen)
+	}
+	w.dests = w.dests[:activeLen]
+	w.errs = w.errs[:activeLen]
+}
+
+// scratchFor returns robot i's view scratch, sized for n robots.
+func (w *World) scratchFor(i int) *viewScratch {
+	sc := &w.scratch[i]
+	if len(sc.points) != len(w.pos) {
+		sc.points = make([]geom.Point, len(w.pos))
+	}
+	if w.ids != nil && len(sc.ids) != len(w.ids) {
+		sc.ids = make([]int, len(w.ids))
+	}
+	if w.robots[i].VisRadius > 0 && len(sc.visible) != len(w.pos) {
+		sc.visible = make([]bool, len(w.pos))
+	}
+	return sc
+}
+
+func isFinite(p geom.Point) bool {
+	return !math.IsNaN(p.X) && !math.IsInf(p.X, 0) &&
+		!math.IsNaN(p.Y) && !math.IsInf(p.Y, 0)
+}

@@ -1,0 +1,303 @@
+package sim
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"waggle/internal/geom"
+)
+
+// driftBehavior is a deterministic stateful behavior: each activation
+// it walks towards a point derived from its observation count and the
+// centroid of the view, exercising both view contents and private
+// state.
+type driftBehavior struct {
+	calls int
+}
+
+func (d *driftBehavior) Step(v View) geom.Point {
+	d.calls++
+	var cx, cy float64
+	for _, p := range v.Points {
+		cx += p.X
+		cy += p.Y
+	}
+	n := float64(len(v.Points))
+	angle := float64(d.calls) * 0.7
+	return geom.Pt(cx/n+math.Cos(angle)*0.5, cy/n+math.Sin(angle)*0.5)
+}
+
+func engineWorld(t *testing.T, n int, mode EngineMode, seed int64) *World {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	positions := make([]geom.Point, 0, n)
+	for len(positions) < n {
+		p := geom.Pt(rng.Float64()*float64(n)*10, rng.Float64()*float64(n)*10)
+		ok := true
+		for _, q := range positions {
+			if p.Dist(q) < 4 {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			positions = append(positions, p)
+		}
+	}
+	robots := make([]*Robot, n)
+	for i := range robots {
+		robots[i] = &Robot{
+			Frame:    geom.NewFrame(geom.Point{}, rng.Float64()*2*math.Pi, 1, geom.RightHanded),
+			Sigma:    2,
+			Behavior: &driftBehavior{},
+		}
+	}
+	w, err := NewWorld(Config{Positions: positions, Robots: robots, RecordTrace: true, Engine: mode})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+// TestEngineParity pins the tentpole guarantee: sequential and parallel
+// engines produce byte-for-byte identical executions — same moves, same
+// per-instant configurations — for the same seed and scheduler.
+func TestEngineParity(t *testing.T) {
+	const n, steps = 48, 200 // above parallelMinActive so EngineParallel really fans out
+	for _, scheduler := range []Scheduler{Synchronous{}, FirstSync{Inner: NewRandomFair(7)}} {
+		seq := engineWorld(t, n, EngineSequential, 99)
+		par := engineWorld(t, n, EngineParallel, 99)
+		// Random-fair schedulers are stateful: give each world its own.
+		seqSched, parSched := scheduler, scheduler
+		if _, ok := scheduler.(FirstSync); ok {
+			seqSched = FirstSync{Inner: NewRandomFair(7)}
+			parSched = FirstSync{Inner: NewRandomFair(7)}
+		}
+		for s := 0; s < steps; s++ {
+			if _, err := seq.Step(seqSched); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := par.Step(parSched); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for i := 0; i < n; i++ {
+			if seq.Position(i) != par.Position(i) {
+				t.Fatalf("robot %d diverged: sequential %v, parallel %v", i, seq.Position(i), par.Position(i))
+			}
+		}
+		seqMoves, parMoves := seq.Trace().Moves(), par.Trace().Moves()
+		if len(seqMoves) != len(parMoves) {
+			t.Fatalf("move counts diverged: %d vs %d", len(seqMoves), len(parMoves))
+		}
+		for i := range seqMoves {
+			if seqMoves[i] != parMoves[i] {
+				t.Fatalf("move %d diverged: %+v vs %+v", i, seqMoves[i], parMoves[i])
+			}
+		}
+	}
+}
+
+// TestEngineAutoMatchesSequential checks the default adaptive mode
+// computes the same execution as forced-sequential.
+func TestEngineAutoMatchesSequential(t *testing.T) {
+	auto := engineWorld(t, 40, EngineAuto, 3)
+	seq := engineWorld(t, 40, EngineSequential, 3)
+	for s := 0; s < 100; s++ {
+		if _, err := auto.Step(Synchronous{}); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := seq.Step(Synchronous{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < auto.N(); i++ {
+		if auto.Position(i) != seq.Position(i) {
+			t.Fatalf("robot %d diverged under EngineAuto", i)
+		}
+	}
+}
+
+func TestEngineModeString(t *testing.T) {
+	for mode, want := range map[EngineMode]string{
+		EngineAuto:       "auto",
+		EngineSequential: "sequential",
+		EngineParallel:   "parallel",
+		EngineMode(9):    "EngineMode(9)",
+	} {
+		if got := mode.String(); got != want {
+			t.Errorf("EngineMode(%d).String() = %q, want %q", int(mode), got, want)
+		}
+	}
+}
+
+func TestSetEngine(t *testing.T) {
+	w := engineWorld(t, 4, EngineAuto, 1)
+	if w.Engine() != EngineAuto {
+		t.Fatalf("initial engine %v", w.Engine())
+	}
+	w.SetEngine(EngineParallel)
+	if w.Engine() != EngineParallel {
+		t.Fatalf("engine after SetEngine = %v", w.Engine())
+	}
+	if _, err := w.Step(Synchronous{}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestNonFiniteDestinationRejected pins the satellite fix: a behavior
+// returning NaN or infinite coordinates must yield a descriptive error,
+// not a silently corrupted configuration (NaN survives the sigma clamp
+// because every comparison with NaN is false).
+func TestNonFiniteDestinationRejected(t *testing.T) {
+	for name, bad := range map[string]geom.Point{
+		"nan-x":  geom.Pt(math.NaN(), 0),
+		"nan-y":  geom.Pt(0, math.NaN()),
+		"inf-x":  geom.Pt(math.Inf(1), 0),
+		"-inf-y": geom.Pt(0, math.Inf(-1)),
+	} {
+		t.Run(name, func(t *testing.T) {
+			for _, mode := range []EngineMode{EngineSequential, EngineParallel} {
+				w, err := NewWorld(Config{
+					Positions: []geom.Point{geom.Pt(0, 0), geom.Pt(10, 0)},
+					Robots: []*Robot{
+						{Frame: geom.WorldFrame(), Sigma: 1, Behavior: BehaviorFunc(func(View) geom.Point { return bad })},
+						{Frame: geom.WorldFrame(), Sigma: 1, Behavior: BehaviorFunc(func(View) geom.Point { return geom.Pt(0, 0) })},
+					},
+					Engine: mode,
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				_, err = w.Step(Synchronous{})
+				if err == nil {
+					t.Fatalf("engine %v accepted non-finite destination %v", mode, bad)
+				}
+				if !strings.Contains(err.Error(), "robot 0") || !strings.Contains(err.Error(), "non-finite") {
+					t.Errorf("engine %v: undescriptive error %v", mode, err)
+				}
+				// The configuration must be untouched.
+				if w.Position(0) != geom.Pt(0, 0) || w.Position(1) != geom.Pt(10, 0) {
+					t.Errorf("engine %v: configuration corrupted: %v %v", mode, w.Position(0), w.Position(1))
+				}
+			}
+		})
+	}
+}
+
+type duplicatingScheduler struct{}
+
+func (duplicatingScheduler) Next(_, n int) []int { return []int{0, 1, 0} }
+
+// TestDuplicateActivationRejected: a scheduler activating the same
+// robot twice in one instant would race in the parallel engine (two
+// workers sharing one scratch slot), so both engines reject it.
+func TestDuplicateActivationRejected(t *testing.T) {
+	w := engineWorld(t, 3, EngineSequential, 5)
+	if _, err := w.Step(duplicatingScheduler{}); err == nil || !strings.Contains(err.Error(), "twice") {
+		t.Fatalf("duplicate activation err = %v", err)
+	}
+	// The detector state must be cleared: a valid step still works.
+	if _, err := w.Step(Synchronous{}); err != nil {
+		t.Fatalf("step after rejected activation: %v", err)
+	}
+}
+
+// TestBehaviorPanicInParallelWorker: a panic inside a worker goroutine
+// must surface as an error, not kill the process.
+func TestBehaviorPanicInParallelWorker(t *testing.T) {
+	positions := []geom.Point{geom.Pt(0, 0), geom.Pt(10, 0), geom.Pt(0, 10)}
+	robots := make([]*Robot, 3)
+	for i := range robots {
+		i := i
+		robots[i] = &Robot{Frame: geom.WorldFrame(), Sigma: 1, Behavior: BehaviorFunc(func(v View) geom.Point {
+			if i == 2 {
+				panic("boom")
+			}
+			return v.Points[v.Self]
+		})}
+	}
+	w, err := NewWorld(Config{Positions: positions, Robots: robots, Engine: EngineParallel})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = w.Step(Synchronous{})
+	if err == nil || !strings.Contains(err.Error(), "panicked") {
+		t.Fatalf("panic surfaced as %v", err)
+	}
+}
+
+// TestStepAllocationFree pins the buffer-reuse goal: after warm-up, a
+// sequential step of a plain (untraced, anonymous, unlimited-vision)
+// world performs zero heap allocations in the engine itself.
+func TestStepAllocationFree(t *testing.T) {
+	n := 32
+	positions := make([]geom.Point, n)
+	robots := make([]*Robot, n)
+	for i := range positions {
+		positions[i] = geom.Pt(float64(i)*10, 0)
+		robots[i] = &Robot{Frame: geom.WorldFrame(), Sigma: 1, Behavior: BehaviorFunc(func(v View) geom.Point {
+			return v.Points[v.Self]
+		})}
+	}
+	w, err := NewWorld(Config{Positions: positions, Robots: robots, Engine: EngineSequential})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched := Synchronous{}
+	if _, err := w.Step(sched); err != nil { // warm up scratch buffers
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(50, func() {
+		if _, err := w.Step(sched); err != nil {
+			t.Fatal(err)
+		}
+	})
+	// The scheduler allocates its activation slice; the engine itself
+	// must add nothing beyond it.
+	if allocs > 1 {
+		t.Errorf("Step allocates %.1f objects/op after warm-up, want <= 1", allocs)
+	}
+}
+
+// TestViewScratchReusedAcrossActivations documents the scratch-buffer
+// contract: the view slices a robot receives are stable between its own
+// activations and are rewritten at the next one.
+func TestViewScratchReusedAcrossActivations(t *testing.T) {
+	var first, second []geom.Point
+	calls := 0
+	b := BehaviorFunc(func(v View) geom.Point {
+		calls++
+		switch calls {
+		case 1:
+			first = v.Points
+		case 2:
+			second = v.Points
+		}
+		return v.Points[v.Self]
+	})
+	w, err := NewWorld(Config{
+		Positions: []geom.Point{geom.Pt(0, 0), geom.Pt(10, 0)},
+		Robots: []*Robot{
+			{Frame: geom.WorldFrame(), Sigma: 1, Behavior: b},
+			{Frame: geom.WorldFrame(), Sigma: 1, Behavior: BehaviorFunc(func(v View) geom.Point { return v.Points[v.Self] })},
+		},
+		Engine: EngineSequential,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for s := 0; s < 2; s++ {
+		if _, err := w.Step(Synchronous{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if calls != 2 {
+		t.Fatalf("behavior called %d times", calls)
+	}
+	if &first[0] != &second[0] {
+		t.Error("view buffers were reallocated instead of reused")
+	}
+}

@@ -50,6 +50,12 @@ type RandomFair struct {
 	idle []int
 }
 
+// DefaultRandomFairSeed seeds a zero-value RandomFair that was built
+// without NewRandomFair. The fallback is deliberate and documented —
+// a forgotten seed must not silently pick one — and tests pin that a
+// zero value behaves exactly like NewRandomFair(DefaultRandomFairSeed).
+const DefaultRandomFairSeed int64 = 1
+
 // NewRandomFair returns a seeded random fair scheduler.
 func NewRandomFair(seed int64) *RandomFair {
 	return &RandomFair{rng: rand.New(rand.NewSource(seed)), P: 0.5, MaxLag: 64}
@@ -58,7 +64,9 @@ func NewRandomFair(seed int64) *RandomFair {
 // Next implements Scheduler.
 func (s *RandomFair) Next(_, n int) []int {
 	if s.rng == nil {
-		s.rng = rand.New(rand.NewSource(1))
+		// Zero-value scheduler: fall back to the documented default
+		// seed rather than an arbitrary constant buried here.
+		s.rng = rand.New(rand.NewSource(DefaultRandomFairSeed))
 	}
 	p := s.P
 	if p <= 0 || p > 1 {
@@ -69,7 +77,12 @@ func (s *RandomFair) Next(_, n int) []int {
 		maxLag = 64
 	}
 	if len(s.idle) != n {
-		s.idle = make([]int, n)
+		// The system size changed mid-run (or this is the first call):
+		// carry over the lag state of the surviving robots instead of
+		// discarding it, so fairness debts are not silently forgiven.
+		idle := make([]int, n)
+		copy(idle, s.idle)
+		s.idle = idle
 	}
 	var out []int
 	for len(out) == 0 {

@@ -182,3 +182,84 @@ func TestChangeCounter(t *testing.T) {
 		t.Errorf("post-reset baseline counted as change: %d", got)
 	}
 }
+
+// TestRandomFairZeroValueUsesDocumentedSeed pins the satellite fix: a
+// zero-value RandomFair must behave exactly like
+// NewRandomFair(DefaultRandomFairSeed) rather than silently reseeding
+// with an arbitrary constant buried in Next.
+func TestRandomFairZeroValueUsesDocumentedSeed(t *testing.T) {
+	zero := &RandomFair{}
+	seeded := NewRandomFair(DefaultRandomFairSeed)
+	for step := 0; step < 200; step++ {
+		a, b := zero.Next(step, 5), seeded.Next(step, 5)
+		if len(a) != len(b) {
+			t.Fatalf("step %d: zero-value diverged from documented default seed: %v vs %v", step, a, b)
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("step %d: zero-value diverged from documented default seed: %v vs %v", step, a, b)
+			}
+		}
+	}
+}
+
+// TestRandomFairResizePreservesLag pins the other half of the fix: a
+// mid-run change of n must carry over the surviving robots' idle
+// counters instead of forgiving their fairness debts.
+func TestRandomFairResizePreservesLag(t *testing.T) {
+	s := NewRandomFair(11)
+	s.P = 0.0001 // activations essentially only via the lag bound
+	s.MaxLag = 10
+
+	// Run at n=3 until just before robot lag forces activations.
+	for step := 0; step < 9; step++ {
+		s.Next(step, 3)
+	}
+	maxIdle := 0
+	for _, lag := range s.idle[:3] {
+		if lag > maxIdle {
+			maxIdle = lag
+		}
+	}
+	if maxIdle == 0 {
+		t.Fatal("setup failed: no accumulated lag")
+	}
+	// Grow to n=5: the first three robots' lag must survive.
+	preserved := append([]int(nil), s.idle[:3]...)
+	s.Next(9, 5)
+	for i, want := range preserved {
+		// After the growth step, a robot either was activated (idle
+		// reset to 0) or its pre-growth lag advanced by one.
+		got := s.idle[i]
+		if got != 0 && got != want+1 {
+			t.Errorf("robot %d: idle = %d after resize, want 0 or %d", i, got, want+1)
+		}
+	}
+	// A robot whose lag was at the bound must actually get activated
+	// soon; with P≈0 that can only come from preserved lag state.
+	forced := false
+	for step := 10; step < 13 && !forced; step++ {
+		for _, i := range s.Next(step, 5) {
+			if i < 3 {
+				forced = true
+			}
+		}
+	}
+	if !forced {
+		t.Error("grown scheduler never force-activated a pre-resize robot: lag state was discarded")
+	}
+}
+
+// TestRandomFairShrinkKeepsWorking exercises the shrink path of the
+// resize: no panic, still non-empty activations.
+func TestRandomFairShrinkKeepsWorking(t *testing.T) {
+	s := NewRandomFair(13)
+	for step := 0; step < 20; step++ {
+		s.Next(step, 6)
+	}
+	for step := 20; step < 40; step++ {
+		if got := s.Next(step, 2); len(got) == 0 {
+			t.Fatal("empty activation after shrink")
+		}
+	}
+}

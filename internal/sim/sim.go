@@ -104,6 +104,17 @@ type World struct {
 	ids    []int // nil when anonymous
 	time   int
 	trace  *Trace
+	engine EngineMode
+
+	// Reusable per-step buffers (see engine.go): the configuration
+	// snapshot shared by every view, one view scratch per robot, and the
+	// destination/error slot per active robot. They make the hot loop
+	// allocation-free after warm-up.
+	snapshot []geom.Point
+	scratch  []viewScratch
+	dests    []geom.Point
+	errs     []error
+	seen     []bool // duplicate-activation detector
 }
 
 // Config configures a World.
@@ -120,6 +131,11 @@ type Config struct {
 	// RecordTrace enables full move recording (used by tests, figures
 	// and benchmarks; protocols never read the trace).
 	RecordTrace bool
+	// Engine selects the step-engine mode (see EngineMode). The zero
+	// value EngineAuto parallelises large activation sets on multi-core
+	// hosts and stays sequential otherwise; every mode computes the
+	// identical execution.
+	Engine EngineMode
 }
 
 var (
@@ -162,8 +178,11 @@ func NewWorld(cfg Config) (*World, error) {
 		}
 	}
 	w := &World{
-		robots: make([]*Robot, n),
-		pos:    make([]geom.Point, n),
+		robots:  make([]*Robot, n),
+		pos:     make([]geom.Point, n),
+		engine:  cfg.Engine,
+		scratch: make([]viewScratch, n),
+		seen:    make([]bool, n),
 	}
 	copy(w.pos, cfg.Positions)
 	for i, r := range cfg.Robots {
@@ -213,42 +232,48 @@ func (w *World) Trace() *Trace { return w.trace }
 
 // Step advances the world by one instant using the scheduler's
 // activation set. It returns the set of activated robots.
+//
+// The observe–compute–clamp phase runs under the configured EngineMode
+// (sequential, or fanned out over a GOMAXPROCS-sized worker pool): all
+// active robots observe the same immutable snapshot, each behavior
+// mutates only its own private state, and the moves are applied
+// simultaneously — in activation order — after a barrier, so every mode
+// computes the identical execution. A behavior returning a NaN or
+// infinite destination yields a descriptive error instead of silently
+// corrupting the configuration (NaN survives the sigma clamp).
 func (w *World) Step(s Scheduler) ([]int, error) {
 	active := s.Next(w.time, len(w.robots))
 	if len(active) == 0 {
 		return nil, ErrEmptyActivation
 	}
-	// All active robots observe the same snapshot.
-	snapshot := make([]geom.Point, len(w.pos))
-	copy(snapshot, w.pos)
-
-	type move struct {
-		idx  int
-		dest geom.Point
-	}
-	moves := make([]move, 0, len(active))
 	for _, i := range active {
 		if i < 0 || i >= len(w.robots) {
+			w.resetSeen(active)
 			return nil, fmt.Errorf("sim: scheduler activated robot %d of %d", i, len(w.robots))
 		}
-		r := w.robots[i]
-		view := w.localView(i, snapshot)
-		localDest := r.Behavior.Step(view)
-		worldDest := r.Frame.ToWorld(localDest)
-		// Clamp to the per-activation bound sigma.
-		delta := worldDest.Sub(snapshot[i])
-		if d := delta.Len(); d > r.Sigma {
-			worldDest = snapshot[i].Add(delta.Scale(r.Sigma / d))
+		if w.seen[i] {
+			w.resetSeen(active)
+			return nil, fmt.Errorf("sim: scheduler activated robot %d twice in one instant", i)
 		}
-		moves = append(moves, move{idx: i, dest: worldDest})
+		w.seen[i] = true
+	}
+	w.resetSeen(active)
+	// All active robots observe the same snapshot.
+	w.prepareStep(len(active))
+	w.computeMoves(active)
+	for _, err := range w.errs {
+		if err != nil {
+			return nil, err
+		}
 	}
 	// Apply simultaneously.
-	for _, m := range moves {
-		from := w.pos[m.idx]
-		w.pos[m.idx] = m.dest
-		w.robots[m.idx].Frame = w.robots[m.idx].Frame.WithOrigin(m.dest)
+	for k, i := range active {
+		from := w.pos[i]
+		dest := w.dests[k]
+		w.pos[i] = dest
+		w.robots[i].Frame = w.robots[i].Frame.WithOrigin(dest)
 		if w.trace != nil {
-			w.trace.record(w.time, m.idx, from, m.dest)
+			w.trace.record(w.time, i, from, dest)
 		}
 	}
 	if w.trace != nil {
@@ -256,6 +281,16 @@ func (w *World) Step(s Scheduler) ([]int, error) {
 	}
 	w.time++
 	return active, nil
+}
+
+// resetSeen clears the duplicate-activation marks set for this instant;
+// only marks for valid indices can have been set.
+func (w *World) resetSeen(active []int) {
+	for _, i := range active {
+		if i >= 0 && i < len(w.seen) {
+			w.seen[i] = false
+		}
+	}
 }
 
 // Teleport forcibly relocates robot i — a transient fault injected by
@@ -290,13 +325,20 @@ func (w *World) Run(s Scheduler, maxSteps int, done func(w *World) bool) (int, b
 	return maxSteps, done != nil && done(w), nil
 }
 
-// localView builds robot i's view of the snapshot.
+// localView builds robot i's view of the snapshot into the robot's own
+// reusable scratch buffers: the returned slices stay valid (and
+// unchanging) until robot i's next activation. Behaviors that need the
+// view beyond one Step call must copy what they keep.
 func (w *World) localView(i int, snapshot []geom.Point) View {
 	frame := w.robots[i].Frame
-	pts := make([]geom.Point, len(snapshot))
+	sc := w.scratchFor(i)
+	pts := sc.points
 	var visible []bool
 	if r := w.robots[i].VisRadius; r > 0 {
-		visible = make([]bool, len(snapshot))
+		visible = sc.visible
+		for j := range visible {
+			visible[j] = false
+		}
 	}
 	for j, p := range snapshot {
 		if visible != nil {
@@ -313,7 +355,7 @@ func (w *World) localView(i int, snapshot []geom.Point) View {
 	}
 	var ids []int
 	if w.ids != nil {
-		ids = make([]int, len(w.ids))
+		ids = sc.ids
 		copy(ids, w.ids)
 	}
 	return View{Time: w.time, Self: i, Points: pts, IDs: ids, Visible: visible}

@@ -1,0 +1,59 @@
+package sweep
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"waggle/internal/render"
+)
+
+// Result is one experiment's outcome from a RunAll batch.
+type Result struct {
+	Name  string
+	Table *render.Table
+	Err   error
+}
+
+// RunAll executes the named experiments concurrently over a pool of
+// `workers` goroutines (0 or negative selects GOMAXPROCS) and returns
+// their results in the order the names were given, regardless of
+// completion order. Every experiment is self-contained — it builds its
+// own swarms and seeds its own randomness — so the rows are
+// independent; the returned error is the first failure in request
+// order (later experiments still run to completion).
+func RunAll(names []string, workers int) ([]Result, error) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(names) {
+		workers = len(names)
+	}
+	results := make([]Result, len(names))
+	if len(names) == 0 {
+		return results, nil
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				k := int(next.Add(1)) - 1
+				if k >= len(names) {
+					return
+				}
+				tbl, err := Run(names[k])
+				results[k] = Result{Name: names[k], Table: tbl, Err: err}
+			}
+		}()
+	}
+	wg.Wait()
+	for _, r := range results {
+		if r.Err != nil {
+			return results, r.Err
+		}
+	}
+	return results, nil
+}

@@ -87,3 +87,69 @@ func csvRows(csv string) [][]string {
 	}
 	return rows
 }
+
+// TestRunAllDeterministicOrder pins the concurrent harness contract:
+// results come back in request order with every experiment populated,
+// however the workers interleave.
+func TestRunAllDeterministicOrder(t *testing.T) {
+	names := []string{"silence", "drift", "msgsize"}
+	results, err := RunAll(names, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != len(names) {
+		t.Fatalf("%d results for %d names", len(results), len(names))
+	}
+	for i, r := range results {
+		if r.Name != names[i] {
+			t.Errorf("result %d is %q, want %q", i, r.Name, names[i])
+		}
+		if r.Err != nil {
+			t.Errorf("%s: %v", r.Name, r.Err)
+		}
+		if r.Table == nil {
+			t.Errorf("%s: nil table", r.Name)
+		}
+	}
+	// The same batch run serially must produce identical tables —
+	// experiments are self-contained and seed their own randomness.
+	serial, err := RunAll(names, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range results {
+		if got, want := results[i].Table.CSV(), serial[i].Table.CSV(); got != want {
+			t.Errorf("%s: parallel and serial tables differ:\n%s\nvs\n%s", names[i], got, want)
+		}
+	}
+}
+
+// TestRunAllFirstErrorPropagates: an unknown experiment anywhere in the
+// batch surfaces as the returned error — the first failure in request
+// order — while the other rows still complete.
+func TestRunAllFirstErrorPropagates(t *testing.T) {
+	results, err := RunAll([]string{"silence", "bogus-one", "bogus-two"}, 2)
+	if err == nil {
+		t.Fatal("batch with unknown experiment succeeded")
+	}
+	if results[1].Err == nil || results[2].Err == nil {
+		t.Error("unknown experiments did not record errors")
+	}
+	if err != results[1].Err {
+		t.Errorf("returned error %v is not the first failure %v", err, results[1].Err)
+	}
+	if results[0].Err != nil || results[0].Table == nil {
+		t.Error("healthy experiment did not complete alongside failures")
+	}
+}
+
+// TestRunAllEmpty: a zero-length batch is a no-op, not a hang.
+func TestRunAllEmpty(t *testing.T) {
+	results, err := RunAll(nil, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 0 {
+		t.Fatalf("%d results for empty batch", len(results))
+	}
+}

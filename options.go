@@ -25,6 +25,28 @@ const (
 	SchedulerStarver
 )
 
+// EngineMode selects how the simulator computes the moves of an
+// instant's active robots. Every mode produces byte-for-byte identical
+// executions — destinations are pure functions of the shared
+// configuration snapshot and each robot's private state, applied in
+// activation order after a barrier — so the mode only changes
+// wall-clock time.
+type EngineMode int
+
+// Engine modes for WithEngine.
+const (
+	// EngineAuto (the default) parallelises instants whose activation
+	// set is large enough to amortise goroutine overhead on a
+	// multi-core host, and stays sequential otherwise.
+	EngineAuto EngineMode = iota
+	// EngineSequential computes every move on the calling goroutine —
+	// the right choice for small swarms.
+	EngineSequential
+	// EngineParallel always fans the per-robot observe–compute phase
+	// out over a worker pool sized to GOMAXPROCS.
+	EngineParallel
+)
+
 // options is the resolved configuration of a swarm.
 type options struct {
 	synchronous      bool
@@ -43,6 +65,7 @@ type options struct {
 	starveVictim     int
 	starveDelay      int
 	activationProb   float64
+	engine           EngineMode
 }
 
 func defaultOptions() options {
@@ -138,6 +161,13 @@ func WithFlocking(dx, dy float64) Option {
 	return optionFunc(func(o *options) { o.flock = &Point{X: dx, Y: dy} })
 }
 
+// WithEngine selects the simulator's step engine (see EngineMode). The
+// default EngineAuto adapts per instant; the choice never changes the
+// computed execution, only how fast it is computed.
+func WithEngine(mode EngineMode) Option {
+	return optionFunc(func(o *options) { o.engine = mode })
+}
+
 // WithScheduler selects the asynchronous activation scheduler. The
 // starver parameters are only used by SchedulerStarver.
 func WithScheduler(kind SchedulerKind) Option {
@@ -180,6 +210,18 @@ func buildFrames(o options, n int) []geom.Frame {
 		frames[i] = geom.NewFrame(geom.Point{}, theta, scale, hand)
 	}
 	return frames
+}
+
+// buildEngine maps the facade's engine mode onto the simulator's.
+func buildEngine(o options) sim.EngineMode {
+	switch o.engine {
+	case EngineSequential:
+		return sim.EngineSequential
+	case EngineParallel:
+		return sim.EngineParallel
+	default:
+		return sim.EngineAuto
+	}
 }
 
 // buildScheduler derives the activation scheduler implied by the

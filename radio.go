@@ -27,13 +27,16 @@ func NewRadio(n int, seed int64) *Radio {
 // to interference.
 func (r *Radio) SetJamming(p float64) { r.inner.JamProb = p }
 
-// Break permanently disables robot i's transmitter.
-func (r *Radio) Break(i int) { r.inner.Break(i) }
+// Break permanently disables robot i's transmitter. Out-of-range
+// indices are reported as an error, matching Send.
+func (r *Radio) Break(i int) error { return r.inner.Break(i) }
 
-// Repair restores robot i's transmitter.
-func (r *Radio) Repair(i int) { r.inner.Repair(i) }
+// Repair restores robot i's transmitter. Out-of-range indices are
+// reported as an error, matching Send.
+func (r *Radio) Repair(i int) error { return r.inner.Repair(i) }
 
-// Broken reports whether robot i's transmitter is out of order.
+// Broken reports whether robot i's transmitter is out of order;
+// out-of-range indices report false.
 func (r *Radio) Broken(i int) bool { return r.inner.Broken(i) }
 
 // Send transmits a message over the radio, returning ErrRadioFailed when

@@ -153,6 +153,7 @@ func NewSwarm(positions []Point, opts ...Option) (*Swarm, error) {
 		Robots:      robots,
 		Identified:  o.identified,
 		RecordTrace: o.trace,
+		Engine:      buildEngine(o),
 	})
 	if err != nil {
 		return nil, fmt.Errorf("waggle: %w", err)
@@ -191,16 +192,18 @@ func (s *Swarm) SendAll(from int, payload []byte) error {
 // Step advances the swarm by one time instant.
 func (s *Swarm) Step() error { return s.net.Step() }
 
-// RunUntilDelivered advances the swarm until `count` messages have been
-// delivered (or the step budget is exhausted), returning them and the
-// number of instants executed.
+// RunUntilDelivered advances the swarm until `count` undelivered-to-you
+// messages are available (or the step budget is exhausted), returning
+// them — oldest first, including any that arrived during an earlier run
+// but were never returned — and the number of instants executed.
 func (s *Swarm) RunUntilDelivered(count, maxSteps int) ([]Message, int, error) {
 	recs, steps, err := s.net.RunUntilDelivered(count, maxSteps)
 	return toMessages(recs), steps, err
 }
 
 // RunUntilQuiet advances the swarm until every robot has nothing queued
-// or in flight, returning the messages delivered during the run.
+// or in flight, returning every message not yet handed out by a
+// previous RunUntil* call plus those delivered during the run.
 func (s *Swarm) RunUntilQuiet(maxSteps int) ([]Message, int, error) {
 	recs, steps, err := s.net.RunUntilQuiet(maxSteps)
 	return toMessages(recs), steps, err
@@ -311,6 +314,9 @@ func validateOptions(o options, n int) error {
 	}
 	if o.sigma <= 0 {
 		return fmt.Errorf("waggle: sigma %v must be positive", o.sigma)
+	}
+	if o.engine < EngineAuto || o.engine > EngineParallel {
+		return fmt.Errorf("waggle: unknown engine mode %d", o.engine)
 	}
 	return nil
 }
