@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: verify build vet test race bench
+.PHONY: verify build vet test race bench bench-json bench-check
 
 verify: build vet race
 
@@ -23,3 +23,17 @@ race:
 # The speedup benchmarks for the parallel engine and sweep harness.
 bench:
 	$(GO) test -run xxx -bench 'BenchmarkStepParallel|BenchmarkSweepParallel' -benchmem .
+
+# Full spatial-index before/after run: measures every grid fast path
+# against its brute twin and writes BENCH_spatial.json (the table in
+# EXPERIMENTS.md comes from this file).
+bench-json:
+	$(GO) run ./cmd/waggle-bench -out BENCH_spatial.json
+
+# Smoke gate for the benchmark trajectory: every in-package benchmark
+# compiles and runs one iteration, and every waggle-bench scenario body
+# executes once. Catches silently-empty bench suites without paying for
+# a full measurement run.
+bench-check:
+	$(GO) test -run xxx -bench . -benchtime 1x ./...
+	$(GO) run ./cmd/waggle-bench -smoke

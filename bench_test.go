@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"math/rand"
 	"testing"
+
+	"waggle/internal/figures"
 )
 
 // The paper has no measured tables — it is a brief announcement with
@@ -13,22 +15,16 @@ import (
 // from DESIGN.md's experiment index; EXPERIMENTS.md records the
 // resulting shapes next to the paper's statements.
 
+// benchPositions delegates to the shared grid-backed placement helper
+// (figures.RandomConfiguration, built on spatial.Placer) so generating a
+// benchmark configuration costs O(n) expected instead of O(n²): min
+// separation 8 on a side that grows with n, same as the sweep harness.
 func benchPositions(n int, seed int64) []Point {
 	rng := rand.New(rand.NewSource(seed))
-	pts := make([]Point, 0, n)
-	for len(pts) < n {
-		p := Point{X: rng.Float64() * float64(n) * 12, Y: rng.Float64() * float64(n) * 12}
-		ok := true
-		for _, q := range pts {
-			dx, dy := p.X-q.X, p.Y-q.Y
-			if dx*dx+dy*dy < 64 {
-				ok = false
-				break
-			}
-		}
-		if ok {
-			pts = append(pts, p)
-		}
+	gpts := figures.RandomConfiguration(rng, n, float64(n)*12, 8)
+	pts := make([]Point, n)
+	for i, p := range gpts {
+		pts[i] = Point{X: p.X, Y: p.Y}
 	}
 	return pts
 }

@@ -1,0 +1,61 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestSmokeRunsEveryScenario runs every benchmark body once — the tier-1
+// guard against a silently-empty bench trajectory.
+func TestSmokeRunsEveryScenario(t *testing.T) {
+	scenarios := buildScenarios()
+	if len(scenarios) == 0 {
+		t.Fatal("no benchmark scenarios")
+	}
+	seenGrid, seenBrute := 0, 0
+	for _, sc := range scenarios {
+		if err := sc.body(); err != nil {
+			t.Errorf("%s (n=%d): %v", sc.name, sc.n, err)
+		}
+		if _, ok := trimVariant(sc.name, "/grid"); ok {
+			seenGrid++
+		}
+		if _, ok := trimVariant(sc.name, "/brute"); ok {
+			seenBrute++
+		}
+	}
+	if seenGrid == 0 || seenGrid != seenBrute {
+		t.Errorf("scenario pairing broken: %d grid vs %d brute", seenGrid, seenBrute)
+	}
+}
+
+// TestSmokeModeWritesNothing checks -smoke leaves no JSON behind.
+func TestSmokeModeWritesNothing(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "bench.json")
+	if err := run(out, true); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(out); !os.IsNotExist(err) {
+		t.Errorf("smoke mode wrote %s", out)
+	}
+}
+
+// TestResultJSONShape pins the field names EXPERIMENTS.md and external
+// tooling read from BENCH_spatial.json.
+func TestResultJSONShape(t *testing.T) {
+	data, err := json.Marshal(Result{Name: "granulars/grid", N: 512, Iterations: 3, NsPerOp: 1.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m map[string]any
+	if err := json.Unmarshal(data, &m); err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range []string{"name", "n", "iterations", "ns_per_op", "allocs_per_op", "bytes_per_op"} {
+		if _, ok := m[k]; !ok {
+			t.Errorf("missing JSON field %q in %s", k, data)
+		}
+	}
+}

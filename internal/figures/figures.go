@@ -16,6 +16,7 @@ import (
 	"waggle/internal/render"
 	"waggle/internal/sec"
 	"waggle/internal/sim"
+	"waggle/internal/spatial"
 	"waggle/internal/voronoi"
 )
 
@@ -325,21 +326,19 @@ func granularRadius(pts []geom.Point, i int) float64 {
 }
 
 // RandomConfiguration places n robots uniformly with a minimum
-// separation — shared by the figure and sweep tools.
+// separation — the placement helper shared by the figure tools, the
+// sweep harness, and the root benchmark suite. Conflict checks go
+// through the grid-backed spatial.Placer (O(1) expected per attempt
+// instead of O(n)), with the same strict Dist < minSep predicate as the
+// original scan, so a given random stream yields the identical
+// configuration.
 func RandomConfiguration(rng *rand.Rand, n int, side, minSep float64) []geom.Point {
-	pts := make([]geom.Point, 0, n)
-	for len(pts) < n {
+	pl := spatial.NewPlacer(minSep)
+	for pl.Len() < n {
 		p := geom.Pt(rng.Float64()*side, rng.Float64()*side)
-		ok := true
-		for _, q := range pts {
-			if p.Dist(q) < minSep {
-				ok = false
-				break
-			}
-		}
-		if ok {
-			pts = append(pts, p)
+		if !pl.TooClose(p) {
+			pl.Add(p)
 		}
 	}
-	return pts
+	return pl.Points()
 }

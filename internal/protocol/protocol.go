@@ -23,6 +23,7 @@ import (
 	"math"
 
 	"waggle/internal/geom"
+	"waggle/internal/spatial"
 )
 
 // Naming selects how an n-robot protocol identifies recipients.
@@ -124,24 +125,14 @@ func (s slicer) classify(d geom.Vec) (k int, side sideOf) {
 }
 
 // granularRadii returns, per point, half the distance to its nearest
-// neighbour — the granular radius of §3.2, computed directly (see
-// internal/voronoi for the full diagrams; the radius shortcut is exact
-// because the largest disc centred on a site inscribed in its Voronoi
-// cell touches the nearest bisector).
+// neighbour — the granular radius of §3.2 (see internal/voronoi for the
+// full diagrams; the radius shortcut is exact because the largest disc
+// centred on a site inscribed in its Voronoi cell touches the nearest
+// bisector). The computation is delegated to the spatial index, which
+// is O(n) expected instead of the all-pairs O(n²) and returns values
+// bit-identical to the brute-force scan.
 func granularRadii(pts []geom.Point) []float64 {
-	out := make([]float64, len(pts))
-	for i, p := range pts {
-		best := math.Inf(1)
-		for j, q := range pts {
-			if i != j {
-				if d := p.Dist(q); d < best {
-					best = d
-				}
-			}
-		}
-		out[i] = best / 2
-	}
-	return out
+	return spatial.NearestRadii(pts)
 }
 
 // quantizeDir snaps a direction to the nearest of res equally-spaced

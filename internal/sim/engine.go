@@ -8,6 +8,7 @@ import (
 	"sync/atomic"
 
 	"waggle/internal/geom"
+	"waggle/internal/spatial"
 )
 
 // EngineMode selects how World.Step computes the moves of an instant's
@@ -146,14 +147,29 @@ func (w *World) computeMove(i int) (geom.Point, error) {
 	return worldDest, nil
 }
 
+// viewIndexMinN is the swarm size from which limited-visibility views
+// use the per-step spatial grid; below it the O(n) rebuild costs more
+// than the distance checks it culls.
+const viewIndexMinN = 48
+
 // prepareStep sizes the reusable snapshot/destination/error buffers for
-// an instant with the given activation-set size.
+// an instant with the given activation-set size, and rebuilds the
+// per-step visibility grid when limited-visibility culling applies.
 func (w *World) prepareStep(activeLen int) {
 	n := len(w.pos)
 	if w.snapshot == nil {
 		w.snapshot = make([]geom.Point, n)
 	}
 	copy(w.snapshot, w.pos)
+	if !w.viewIndexOff && n >= viewIndexMinN && w.anyLimitedVisibility() {
+		if w.viewIndex == nil {
+			w.viewIndex = spatial.NewGrid(w.snapshot)
+		} else {
+			w.viewIndex.Rebuild(w.snapshot)
+		}
+	} else {
+		w.viewIndex = nil
+	}
 	if cap(w.dests) < activeLen {
 		w.dests = make([]geom.Point, activeLen)
 		w.errs = make([]error, activeLen)
@@ -161,6 +177,24 @@ func (w *World) prepareStep(activeLen int) {
 	w.dests = w.dests[:activeLen]
 	w.errs = w.errs[:activeLen]
 }
+
+// anyLimitedVisibility reports whether any robot has a bounded sensor.
+// Checked per step (a cheap scan) so VisRadius edits between steps are
+// honoured.
+func (w *World) anyLimitedVisibility() bool {
+	for _, r := range w.robots {
+		if r.VisRadius > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// SetViewIndexing enables or disables the limited-visibility spatial
+// grid. Indexing never changes a computed view — the grid only culls
+// candidates ahead of the exact sensor predicate — so this is a
+// benchmarking and debugging knob, on by default.
+func (w *World) SetViewIndexing(on bool) { w.viewIndexOff = !on }
 
 // scratchFor returns robot i's view scratch, sized for n robots.
 func (w *World) scratchFor(i int) *viewScratch {

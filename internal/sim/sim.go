@@ -18,6 +18,7 @@ import (
 	"fmt"
 
 	"waggle/internal/geom"
+	"waggle/internal/spatial"
 )
 
 // Behavior is a robot's deterministic algorithm. Step is invoked at
@@ -115,6 +116,14 @@ type World struct {
 	dests    []geom.Point
 	errs     []error
 	seen     []bool // duplicate-activation detector
+
+	// viewIndex is a per-step spatial grid over the snapshot, rebuilt in
+	// prepareStep when any robot has limited visibility and the swarm is
+	// large enough to amortise the rebuild. It is read-only during the
+	// compute phase, so parallel workers share it safely. viewIndexOff
+	// is the benchmark/debug switch (SetViewIndexing).
+	viewIndex    *spatial.Grid
+	viewIndexOff bool
 }
 
 // Config configures a World.
@@ -339,6 +348,33 @@ func (w *World) localView(i int, snapshot []geom.Point) View {
 		for j := range visible {
 			visible[j] = false
 		}
+	}
+	if visible != nil && w.viewIndex != nil {
+		// Limited visibility with the per-step grid: mark and transform
+		// only the robots inside the sensor disc (expected O(k) instead
+		// of O(n) transforms), pre-filling everything else with the
+		// observer's own position — exactly what the full scan writes
+		// for out-of-range robots. The visibility predicate below is the
+		// same Dist <= VisRadius comparison as the scan, on a candidate
+		// superset, so the resulting view is bit-identical.
+		self := snapshot[i]
+		selfLocal := frame.ToLocal(self)
+		for j := range pts {
+			pts[j] = selfLocal
+		}
+		r := w.robots[i].VisRadius
+		w.viewIndex.VisitNeighborhood(self, r, func(j int, d float64) {
+			if d <= r {
+				visible[j] = true
+				pts[j] = frame.ToLocal(snapshot[j])
+			}
+		})
+		var ids []int
+		if w.ids != nil {
+			ids = sc.ids
+			copy(ids, w.ids)
+		}
+		return View{Time: w.time, Self: i, Points: pts, IDs: ids, Visible: visible}
 	}
 	for j, p := range snapshot {
 		if visible != nil {

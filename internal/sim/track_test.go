@@ -1,0 +1,216 @@
+package sim
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"waggle/internal/geom"
+)
+
+// TestAttributeBoundaryRule pins the documented boundary rule: a point
+// exactly on a granular boundary (and within the epsilon slack beyond
+// it) attributes to that home; a point clearly beyond the slack errors.
+func TestAttributeBoundaryRule(t *testing.T) {
+	tr := NewTracker(
+		[]geom.Point{geom.Pt(0, 0), geom.Pt(10, 0)},
+		[]float64{2, 3},
+	)
+	cases := []struct {
+		name    string
+		p       geom.Point
+		want    int
+		wantErr bool
+	}{
+		{"centre", geom.Pt(0, 0), 0, false},
+		{"interior", geom.Pt(1.5, 0), 0, false},
+		{"exactly on boundary", geom.Pt(2, 0), 0, false},
+		{"within eps slack", geom.Pt(2+geom.Eps, 0), 0, false},
+		{"beyond slack", geom.Pt(2.5, 0), 0, true},
+		{"second home boundary", geom.Pt(7, 0), 1, false},
+		{"between granulars", geom.Pt(4.5, 0), 0, true},
+	}
+	for _, tc := range cases {
+		got, err := tr.Attribute(tc.p)
+		if tc.wantErr {
+			if err == nil {
+				t.Errorf("%s: Attribute(%v) = %d, want error", tc.name, tc.p, got)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("%s: Attribute(%v) error: %v", tc.name, tc.p, err)
+			continue
+		}
+		if got != tc.want {
+			t.Errorf("%s: Attribute(%v) = %d, want %d", tc.name, tc.p, got, tc.want)
+		}
+	}
+}
+
+// TestAttributeTieBreaks pins the overlap rules: when the epsilon slack
+// puts a point inside several inflated granulars, the smaller centre
+// distance wins, and an exact distance tie goes to the lowest index.
+func TestAttributeTieBreaks(t *testing.T) {
+	// Two granulars of radius 1 whose boundaries touch at (1, 0): the
+	// touching point is inside both inflated granulars.
+	tr := NewTracker(
+		[]geom.Point{geom.Pt(0, 0), geom.Pt(2, 0)},
+		[]float64{1, 1},
+	)
+	// Equidistant from both centres: exact tie, lowest index wins.
+	if got, err := tr.Attribute(geom.Pt(1, 0)); err != nil || got != 0 {
+		t.Errorf("touching point: got (%d, %v), want (0, nil)", got, err)
+	}
+	// Order must not matter for the tie: same geometry, homes swapped —
+	// still the lowest index (of the swapped tracker).
+	sw := NewTracker(
+		[]geom.Point{geom.Pt(2, 0), geom.Pt(0, 0)},
+		[]float64{1, 1},
+	)
+	if got, err := sw.Attribute(geom.Pt(1, 0)); err != nil || got != 0 {
+		t.Errorf("touching point, swapped homes: got (%d, %v), want (0, nil)", got, err)
+	}
+	// Nudged toward home 1: smaller centre distance wins over index.
+	if got, err := tr.Attribute(geom.Pt(1+1e-14, 0)); err != nil || got != 1 {
+		t.Errorf("nudged point: got (%d, %v), want (1, nil)", got, err)
+	}
+}
+
+// TestAttributionErrorFields checks the structured error: it names the
+// offending point, the nearest home, the distance and that home's
+// radius, and unwraps to ErrUntrackable.
+func TestAttributionErrorFields(t *testing.T) {
+	tr := NewTracker(
+		[]geom.Point{geom.Pt(0, 0), geom.Pt(10, 0)},
+		[]float64{1, 2},
+	)
+	p := geom.Pt(6, 0) // 6 from home 0, 4 from home 1; outside both
+	_, err := tr.Attribute(p)
+	if err == nil {
+		t.Fatal("expected attribution error")
+	}
+	if !errors.Is(err, ErrUntrackable) {
+		t.Errorf("error %v does not unwrap to ErrUntrackable", err)
+	}
+	var ae *AttributionError
+	if !errors.As(err, &ae) {
+		t.Fatalf("error %T is not *AttributionError", err)
+	}
+	if ae.Point != p {
+		t.Errorf("Point = %v, want %v", ae.Point, p)
+	}
+	if ae.NearestHome != 1 {
+		t.Errorf("NearestHome = %d, want 1", ae.NearestHome)
+	}
+	if ae.Dist != 4 {
+		t.Errorf("Dist = %v, want 4", ae.Dist)
+	}
+	if ae.Radius != 2 {
+		t.Errorf("Radius = %v, want 2", ae.Radius)
+	}
+	if ae.Error() == "" {
+		t.Error("empty error string")
+	}
+}
+
+// TestAttributeGridMatchesScan compares attribution above the indexing
+// threshold (grid path) with a hand-rolled direct scan applying the same
+// boundary rule, over on-granular, boundary, and stray query points.
+func TestAttributeGridMatchesScan(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	for _, n := range []int{trackerIndexMinN, 100, 300} {
+		homes := make([]geom.Point, n)
+		for i := range homes {
+			homes[i] = geom.Pt(rng.Float64()*200, rng.Float64()*200)
+		}
+		tr := NewTrackerFromConfig(homes)
+		if tr.index == nil {
+			t.Fatalf("n=%d: expected indexed tracker", n)
+		}
+		scan := func(p geom.Point) (int, bool) {
+			best, bestDist := -1, 0.0
+			for i, h := range homes {
+				d := p.Dist(h)
+				if d <= inflatedRadius(tr.Radius(i)) {
+					if best < 0 || d < bestDist || (d == bestDist && i < best) {
+						best, bestDist = i, d
+					}
+				}
+			}
+			return best, best >= 0
+		}
+		queries := make([]geom.Point, 0, 3*n)
+		for i := 0; i < n; i++ {
+			r := tr.Radius(i)
+			// Interior, exact boundary, and just-outside points.
+			queries = append(queries,
+				geom.Pt(homes[i].X+r/3, homes[i].Y),
+				geom.Pt(homes[i].X+r, homes[i].Y),
+				geom.Pt(homes[i].X, homes[i].Y+r*1.5),
+			)
+		}
+		for _, p := range queries {
+			want, ok := scan(p)
+			got, err := tr.Attribute(p)
+			if ok {
+				if err != nil {
+					t.Fatalf("n=%d: Attribute(%v) error %v, scan found home %d", n, p, err, want)
+				}
+				if got != want {
+					t.Fatalf("n=%d: Attribute(%v) = %d, scan = %d", n, p, got, want)
+				}
+			} else if err == nil {
+				t.Fatalf("n=%d: Attribute(%v) = %d, scan found none", n, p, got)
+			}
+		}
+	}
+}
+
+// TestAttributionErrorNearestWithGrid checks that the indexed error path
+// still reports the true nearest home even when it lies outside the
+// query neighborhood.
+func TestAttributionErrorNearestWithGrid(t *testing.T) {
+	n := trackerIndexMinN + 8
+	homes := make([]geom.Point, n)
+	for i := range homes {
+		homes[i] = geom.Pt(float64(i)*10, 0)
+	}
+	tr := NewTrackerFromConfig(homes)
+	if tr.index == nil {
+		t.Fatal("expected indexed tracker")
+	}
+	// Far above home 5: way outside every granular (radius 5 each) and
+	// outside the maxReach neighborhood around the query point.
+	p := geom.Pt(50, 100)
+	_, err := tr.Attribute(p)
+	var ae *AttributionError
+	if !errors.As(err, &ae) {
+		t.Fatalf("error %T is not *AttributionError", err)
+	}
+	if ae.NearestHome != 5 {
+		t.Errorf("NearestHome = %d, want 5", ae.NearestHome)
+	}
+	if ae.Dist != 100 {
+		t.Errorf("Dist = %v, want 100", ae.Dist)
+	}
+}
+
+// TestEmptyTrackerAttribution pins the empty-tracker error shape.
+func TestEmptyTrackerAttribution(t *testing.T) {
+	tr := NewTracker(nil, nil)
+	_, err := tr.Attribute(geom.Pt(1, 2))
+	var ae *AttributionError
+	if !errors.As(err, &ae) {
+		t.Fatalf("error %T is not *AttributionError", err)
+	}
+	if ae.NearestHome != -1 {
+		t.Errorf("NearestHome = %d, want -1", ae.NearestHome)
+	}
+	if !errors.Is(err, ErrUntrackable) {
+		t.Error("empty-tracker error does not unwrap to ErrUntrackable")
+	}
+	if ae.Error() == "" {
+		t.Error("empty error string")
+	}
+}

@@ -1,0 +1,456 @@
+// Package spatial provides a uniform-grid point index over planar point
+// sets: expected-O(1) nearest-neighbour and radius queries on a static
+// site set, a rebuildable variant for per-step snapshots of moving
+// robots, and an incremental minimum-separation index for rejection
+// sampling.
+//
+// Every accelerated caller in this repository keeps a brute-force twin
+// and is pinned to it by property tests; the index is engineered so the
+// accelerated results are not merely close but IDENTICAL:
+//
+//   - The grid only narrows the candidate set. Final predicates
+//     ("distance <= r", "distance < minSep") are evaluated by the caller
+//     with exactly the arithmetic the brute-force scan uses
+//     (geom.Point.Dist, i.e. math.Hypot), so a candidate superset yields
+//     the same accepted set, the same minimum value, and — with the
+//     shared lowest-index tie rule — the same argmin.
+//   - Pruning bounds carry a geom.Eps-scaled safety margin, orders of
+//     magnitude above float64 rounding of the bound arithmetic, so a
+//     point can never be pruned while still beating the current best.
+//
+// Cell sizing targets ~2 points per cell on quasi-uniform sets
+// (cols = rows = floor(sqrt(n/2))), which bounds the bucket array by n/2
+// and keeps rebuilds allocation-free after warm-up. Clustered or
+// collinear inputs degrade gracefully: queries fall back to scanning
+// more rings and remain correct (worst case O(n), the brute-force cost).
+package spatial
+
+import (
+	"math"
+
+	"waggle/internal/geom"
+)
+
+// bruteCutoff is the point count below which NearestRadii stays with the
+// direct all-pairs scan: building a grid costs more than ~500 distance
+// evaluations.
+const bruteCutoff = 24
+
+// safetyMargin is the slack added to every pruning bound so that float64
+// rounding in the bound arithmetic can never exclude a candidate that
+// would win an exact comparison. It mirrors geom.ApproxEq's scaling.
+func safetyMargin(d float64) float64 { return geom.Eps * (1 + d) }
+
+// Grid is a uniform bucket index over a point slice. The points are
+// referenced, not copied: the caller must not mutate them between
+// Rebuild and the queries that depend on them. A zero Grid is not
+// usable; construct with NewGrid or call Rebuild first.
+type Grid struct {
+	pts          []geom.Point
+	minX, minY   float64
+	cellW, cellH float64
+	cols, rows   int
+
+	// CSR bucket layout: bucket c holds items[start[c]:start[c+1]],
+	// in ascending point-index order.
+	start  []int32
+	items  []int32
+	counts []int32 // rebuild scratch
+}
+
+// NewGrid indexes pts. The slice is referenced, not copied.
+func NewGrid(pts []geom.Point) *Grid {
+	g := &Grid{}
+	g.Rebuild(pts)
+	return g
+}
+
+// Len returns the number of indexed points.
+func (g *Grid) Len() int { return len(g.pts) }
+
+// Rebuild re-indexes the grid over pts, reusing the internal buffers —
+// the per-step snapshot path in the simulator calls this once per
+// instant and allocates nothing after warm-up.
+func (g *Grid) Rebuild(pts []geom.Point) {
+	g.pts = pts
+	n := len(pts)
+	if n == 0 {
+		g.cols, g.rows = 0, 0
+		g.items = g.items[:0]
+		return
+	}
+	minX, minY := math.Inf(1), math.Inf(1)
+	maxX, maxY := math.Inf(-1), math.Inf(-1)
+	for _, p := range pts {
+		minX = math.Min(minX, p.X)
+		minY = math.Min(minY, p.Y)
+		maxX = math.Max(maxX, p.X)
+		maxY = math.Max(maxY, p.Y)
+	}
+	dim := int(math.Sqrt(float64(n) / 2))
+	if dim < 1 {
+		dim = 1
+	}
+	w, h := maxX-minX, maxY-minY
+	if w <= 0 {
+		w = 1
+	}
+	if h <= 0 {
+		h = 1
+	}
+	g.minX, g.minY = minX, minY
+	g.cols, g.rows = dim, dim
+	g.cellW, g.cellH = w/float64(dim), h/float64(dim)
+
+	cells := dim * dim
+	if cap(g.start) < cells+1 {
+		g.start = make([]int32, cells+1)
+		g.counts = make([]int32, cells)
+	}
+	g.start = g.start[:cells+1]
+	g.counts = g.counts[:cells]
+	for i := range g.counts {
+		g.counts[i] = 0
+	}
+	if cap(g.items) < n {
+		g.items = make([]int32, n)
+	}
+	g.items = g.items[:n]
+
+	for _, p := range pts {
+		g.counts[g.cellIndex(p)]++
+	}
+	g.start[0] = 0
+	for c := 0; c < cells; c++ {
+		g.start[c+1] = g.start[c] + g.counts[c]
+		g.counts[c] = g.start[c]
+	}
+	for i, p := range pts {
+		c := g.cellIndex(p)
+		g.items[g.counts[c]] = int32(i)
+		g.counts[c]++
+	}
+}
+
+// cellCoords returns the (column, row) of the cell containing p, clamped
+// into the grid (query points may lie outside the indexed bounding box).
+func (g *Grid) cellCoords(p geom.Point) (int, int) {
+	ix := int((p.X - g.minX) / g.cellW)
+	if ix < 0 {
+		ix = 0
+	} else if ix >= g.cols {
+		ix = g.cols - 1
+	}
+	iy := int((p.Y - g.minY) / g.cellH)
+	if iy < 0 {
+		iy = 0
+	} else if iy >= g.rows {
+		iy = g.rows - 1
+	}
+	return ix, iy
+}
+
+func (g *Grid) cellIndex(p geom.Point) int {
+	ix, iy := g.cellCoords(p)
+	return iy*g.cols + ix
+}
+
+// visitCell calls fn for every point bucketed in cell (ix, iy), in
+// ascending point-index order.
+func (g *Grid) visitCell(ix, iy int, fn func(j int32)) {
+	c := iy*g.cols + ix
+	for k := g.start[c]; k < g.start[c+1]; k++ {
+		fn(g.items[k])
+	}
+}
+
+// visitRing visits every in-grid cell at Chebyshev distance exactly r
+// from (ix, iy).
+func (g *Grid) visitRing(ix, iy, r int, fn func(j int32)) {
+	if r == 0 {
+		g.visitCell(ix, iy, fn)
+		return
+	}
+	x0, x1 := ix-r, ix+r
+	y0, y1 := iy-r, iy+r
+	for x := x0; x <= x1; x++ {
+		if x < 0 || x >= g.cols {
+			continue
+		}
+		if y0 >= 0 {
+			g.visitCell(x, y0, fn)
+		}
+		if y1 < g.rows {
+			g.visitCell(x, y1, fn)
+		}
+	}
+	for y := y0 + 1; y <= y1-1; y++ {
+		if y < 0 || y >= g.rows {
+			continue
+		}
+		if x0 >= 0 {
+			g.visitCell(x0, y, fn)
+		}
+		if x1 < g.cols {
+			g.visitCell(x1, y, fn)
+		}
+	}
+}
+
+// maxRing returns the largest Chebyshev ring around (ix, iy) that still
+// intersects the grid.
+func (g *Grid) maxRing(ix, iy int) int {
+	m := ix
+	if v := g.cols - 1 - ix; v > m {
+		m = v
+	}
+	if iy > m {
+		m = iy
+	}
+	if v := g.rows - 1 - iy; v > m {
+		m = v
+	}
+	return m
+}
+
+// ringLowerBound returns a lower bound on the distance from p to any
+// indexed point whose cell lies at Chebyshev ring >= r around (ix, iy).
+// Directions in which rings 0..r-1 already cover the whole grid
+// contribute +Inf (no unvisited point can lie that way); the bound is
+// +Inf exactly when every indexed point has been visited.
+func (g *Grid) ringLowerBound(p geom.Point, ix, iy, r int) float64 {
+	if r <= 0 {
+		return 0
+	}
+	b := math.Inf(1)
+	if lo := ix - (r - 1); lo > 0 {
+		if d := p.X - (g.minX + float64(lo)*g.cellW); d < b {
+			b = d
+		}
+	}
+	if hi := ix + (r - 1); hi < g.cols-1 {
+		if d := (g.minX + float64(hi+1)*g.cellW) - p.X; d < b {
+			b = d
+		}
+	}
+	if lo := iy - (r - 1); lo > 0 {
+		if d := p.Y - (g.minY + float64(lo)*g.cellH); d < b {
+			b = d
+		}
+	}
+	if hi := iy + (r - 1); hi < g.rows-1 {
+		if d := (g.minY + float64(hi+1)*g.cellH) - p.Y; d < b {
+			b = d
+		}
+	}
+	if b < 0 {
+		b = 0
+	}
+	return b
+}
+
+// NearestTo returns the index of the indexed point nearest to p by
+// geom.Point.Dist, excluding index `exclude` (pass a negative value to
+// exclude nothing), together with that distance. Exact distance ties go
+// to the lowest index — the same rule as an ascending brute-force scan
+// with a strict "<" comparison, so the two agree bit-for-bit. Returns
+// (-1, +Inf) when no point qualifies.
+func (g *Grid) NearestTo(p geom.Point, exclude int) (int, float64) {
+	best := math.Inf(1)
+	bestIdx := -1
+	if len(g.pts) == 0 {
+		return bestIdx, best
+	}
+	ix, iy := g.cellCoords(p)
+	maxR := g.maxRing(ix, iy)
+	for r := 0; r <= maxR; r++ {
+		if bestIdx >= 0 && g.ringLowerBound(p, ix, iy, r) > best+safetyMargin(best) {
+			break
+		}
+		g.visitRing(ix, iy, r, func(j int32) {
+			if int(j) == exclude {
+				return
+			}
+			d := p.Dist(g.pts[j])
+			if d < best || (d == best && int(j) < bestIdx) {
+				best, bestIdx = d, int(j)
+			}
+		})
+	}
+	return bestIdx, best
+}
+
+// VisitNeighborhood calls fn(j, d) — d being the exact geom.Point.Dist
+// from p to point j — for every indexed point whose distance to p is at
+// most radius, and possibly for some points slightly beyond (the cull is
+// by covering cells, widened by one cell against boundary rounding).
+// Callers must apply their own final predicate on d; doing so with the
+// brute-force arithmetic makes the accepted set identical to a full
+// scan. Visit order is bucket order, not distance order.
+func (g *Grid) VisitNeighborhood(p geom.Point, radius float64, fn func(j int, d float64)) {
+	if len(g.pts) == 0 || radius < 0 {
+		return
+	}
+	x0 := g.clampCol(int(math.Floor((p.X-radius-g.minX)/g.cellW)) - 1)
+	x1 := g.clampCol(int(math.Floor((p.X+radius-g.minX)/g.cellW)) + 1)
+	y0 := g.clampRow(int(math.Floor((p.Y-radius-g.minY)/g.cellH)) - 1)
+	y1 := g.clampRow(int(math.Floor((p.Y+radius-g.minY)/g.cellH)) + 1)
+	for y := y0; y <= y1; y++ {
+		for x := x0; x <= x1; x++ {
+			g.visitCell(x, y, func(j int32) {
+				fn(int(j), p.Dist(g.pts[j]))
+			})
+		}
+	}
+}
+
+func (g *Grid) clampCol(x int) int {
+	if x < 0 {
+		return 0
+	}
+	if x >= g.cols {
+		return g.cols - 1
+	}
+	return x
+}
+
+func (g *Grid) clampRow(y int) int {
+	if y < 0 {
+		return 0
+	}
+	if y >= g.rows {
+		return g.rows - 1
+	}
+	return y
+}
+
+// VisitRings enumerates every indexed point, grouped into Chebyshev
+// rings of nondecreasing distance lower bound around p. Before each
+// ring, ringFn receives a lower bound on the distance from p to every
+// point not yet enumerated (this ring and beyond); returning false stops
+// the enumeration. After the last ring, ringFn is called once more with
+// +Inf so callers can flush per-ring accumulation. fn sees each point
+// exactly once. Within a ring the visit order is cell order, not
+// distance order — the bound applies to the whole remainder.
+func (g *Grid) VisitRings(p geom.Point, ringFn func(lowerBound float64) bool, fn func(j int)) {
+	if len(g.pts) == 0 {
+		ringFn(math.Inf(1))
+		return
+	}
+	ix, iy := g.cellCoords(p)
+	maxR := g.maxRing(ix, iy)
+	for r := 0; r <= maxR; r++ {
+		if !ringFn(g.ringLowerBound(p, ix, iy, r)) {
+			return
+		}
+		g.visitRing(ix, iy, r, func(j int32) { fn(int(j)) })
+	}
+	ringFn(math.Inf(1))
+}
+
+// NearestRadii returns, per point, half the distance to its nearest
+// neighbour — the granular radius of the paper's §3.2 preprocessing. A
+// single point (no neighbour) gets +Inf, matching the brute-force
+// convention. Values are bit-identical to NearestRadiiBrute: the grid
+// only narrows candidates, the minimum is taken with the same
+// geom.Point.Dist arithmetic.
+func NearestRadii(pts []geom.Point) []float64 {
+	out := make([]float64, len(pts))
+	if len(pts) < bruteCutoff {
+		nearestRadiiBruteInto(out, pts)
+		return out
+	}
+	g := NewGrid(pts)
+	for i := range pts {
+		_, d := g.NearestTo(pts[i], i)
+		out[i] = d / 2
+	}
+	return out
+}
+
+// NearestRadiiBrute is the O(n²) reference twin of NearestRadii, kept
+// for property tests and the before/after benchmarks.
+func NearestRadiiBrute(pts []geom.Point) []float64 {
+	out := make([]float64, len(pts))
+	nearestRadiiBruteInto(out, pts)
+	return out
+}
+
+func nearestRadiiBruteInto(out []float64, pts []geom.Point) {
+	for i, p := range pts {
+		best := math.Inf(1)
+		for j, q := range pts {
+			if i != j {
+				if d := p.Dist(q); d < best {
+					best = d
+				}
+			}
+		}
+		out[i] = best / 2
+	}
+}
+
+// Placer is an incremental minimum-separation index over an unbounded
+// domain, for rejection-sampling placement loops: instead of scanning
+// all previously accepted points (O(n) per attempt, O(n²) per
+// configuration), each conflict check inspects the 3×3 cell
+// neighbourhood of the candidate. The conflict predicate is exactly
+// "exists an accepted point with Dist(p, q) < minSep" — the same strict
+// comparison the brute-force loops used — so accept/reject decisions,
+// and therefore the generated configurations for a given random stream,
+// are unchanged.
+type Placer struct {
+	minSep  float64
+	cell    float64
+	buckets map[[2]int32][]int32
+	pts     []geom.Point
+}
+
+// NewPlacer creates a placer with the given minimum separation
+// (non-positive means no separation constraint).
+func NewPlacer(minSep float64) *Placer {
+	cell := minSep
+	if cell <= 0 {
+		cell = 1
+	}
+	return &Placer{minSep: minSep, cell: cell, buckets: make(map[[2]int32][]int32)}
+}
+
+// Len returns the number of accepted points.
+func (pl *Placer) Len() int { return len(pl.pts) }
+
+// Points returns the accepted points. The caller may take ownership;
+// the Placer must not be used afterwards.
+func (pl *Placer) Points() []geom.Point { return pl.pts }
+
+func (pl *Placer) key(p geom.Point) [2]int32 {
+	return [2]int32{int32(math.Floor(p.X / pl.cell)), int32(math.Floor(p.Y / pl.cell))}
+}
+
+// TooClose reports whether an accepted point lies strictly closer than
+// minSep to p. With cell side = minSep, any such point's cell differs by
+// at most one in each axis, so the 3×3 neighbourhood is a guaranteed
+// superset of conflicts.
+func (pl *Placer) TooClose(p geom.Point) bool {
+	if pl.minSep <= 0 {
+		return false
+	}
+	k := pl.key(p)
+	for dy := int32(-1); dy <= 1; dy++ {
+		for dx := int32(-1); dx <= 1; dx++ {
+			for _, j := range pl.buckets[[2]int32{k[0] + dx, k[1] + dy}] {
+				if p.Dist(pl.pts[j]) < pl.minSep {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+// Add accepts p into the index.
+func (pl *Placer) Add(p geom.Point) {
+	k := pl.key(p)
+	pl.buckets[k] = append(pl.buckets[k], int32(len(pl.pts)))
+	pl.pts = append(pl.pts, p)
+}

@@ -64,6 +64,10 @@ func Names() []string {
 	}
 }
 
+// positionsFor draws a benchmark configuration from the shared
+// grid-backed placement helper (figures.RandomConfiguration, built on
+// spatial.Placer): identical accept/reject decisions to the old O(n²)
+// rejection scan, so the sweep tables are unchanged.
 func positionsFor(n int, seed int64) []waggle.Point {
 	rng := rand.New(rand.NewSource(seed))
 	raw := figures.RandomConfiguration(rng, n, float64(n)*12, 8)

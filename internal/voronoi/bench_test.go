@@ -9,14 +9,23 @@ import (
 )
 
 func BenchmarkNew(b *testing.B) {
-	for _, n := range []int{16, 64, 256} {
-		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
-			rng := rand.New(rand.NewSource(1))
-			sites := randomSites(rng, n)
+	for _, n := range []int{16, 64, 256, 512} {
+		rng := rand.New(rand.NewSource(1))
+		sites := randomSites(rng, n)
+		b.Run(fmt.Sprintf("pruned/n=%d", n), func(b *testing.B) {
 			b.ReportAllocs()
-			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				if _, err := New(sites); err != nil {
+				// newPruned directly, so small n measures the pruned
+				// path New would route to the scan.
+				if _, err := newPruned(sites); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("brute/n=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := NewBrute(sites); err != nil {
 					b.Fatal(err)
 				}
 			}
