@@ -4,9 +4,9 @@
 
 GO ?= go
 
-.PHONY: verify build vet test race bench bench-json bench-check
+.PHONY: verify build vet test race bench bench-json bench-check chaos-check
 
-verify: build vet race
+verify: build vet race chaos-check
 
 build:
 	$(GO) build ./...
@@ -37,3 +37,14 @@ bench-json:
 bench-check:
 	$(GO) test -run xxx -bench . -benchtime 1x ./...
 	$(GO) run ./cmd/waggle-bench -smoke
+
+# Chaos smoke: one fast scenario per fault family through the
+# fault-injection harness. The full table (EXPERIMENTS.md) is
+# `go run ./cmd/waggle-chaos`.
+chaos-check:
+	$(GO) run ./cmd/waggle-chaos -scenario crash-sync
+	$(GO) run ./cmd/waggle-chaos -scenario displace-sync
+	$(GO) run ./cmd/waggle-chaos -scenario obs-noise-sync
+	$(GO) run ./cmd/waggle-chaos -scenario move-error-sync
+	$(GO) run ./cmd/waggle-chaos -scenario radio-outage
+	$(GO) run ./cmd/waggle-chaos -scenario combined -engine parallel

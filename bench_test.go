@@ -198,7 +198,9 @@ func BenchmarkClaimBackup(b *testing.B) {
 			b.Fatal(err)
 		}
 		radio := NewRadio(s.N(), 1)
-		radio.SetJamming(1) // fully jammed
+		if err := radio.SetJamming(1); err != nil { // fully jammed
+			b.Fatal(err)
+		}
 		bm, err := NewBackupMessenger(radio, s)
 		if err != nil {
 			b.Fatal(err)

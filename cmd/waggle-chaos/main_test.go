@@ -1,0 +1,27 @@
+package main
+
+import "testing"
+
+func TestRunOneScenario(t *testing.T) {
+	if err := run("radio-outage", 1, false, "auto", false); err != nil {
+		t.Error(err)
+	}
+	if err := run("displace-sync", 1, true, "sequential", false); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRunList(t *testing.T) {
+	if err := run("", 1, false, "auto", true); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRunUnknown(t *testing.T) {
+	if err := run("nope", 1, false, "auto", false); err == nil {
+		t.Error("unknown scenario accepted")
+	}
+	if err := run("", 1, false, "warp", false); err == nil {
+		t.Error("unknown engine accepted")
+	}
+}

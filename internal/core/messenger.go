@@ -1,0 +1,360 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+)
+
+// Channel identifies which substrate a sender's traffic currently uses.
+type Channel int
+
+// Channels of a BackupMessenger.
+const (
+	// ChannelRadio is the healthy state: messages go over the wireless
+	// device, instantaneously.
+	ChannelRadio Channel = iota
+	// ChannelMovement is the failed-over state: the sender's radio has
+	// exhausted its retries and traffic rides the movement channel until
+	// a probe finds the radio working again.
+	ChannelMovement
+)
+
+// String implements fmt.Stringer.
+func (c Channel) String() string {
+	switch c {
+	case ChannelRadio:
+		return "radio"
+	case ChannelMovement:
+		return "movement"
+	default:
+		return fmt.Sprintf("Channel(%d)", int(c))
+	}
+}
+
+// MessengerPolicy configures the self-healing behaviour of a
+// BackupMessenger. The zero value means "legacy": no retries, immediate
+// failover per message, no per-sender state — exactly the original
+// fall-back-once messenger.
+type MessengerPolicy struct {
+	// MaxRetries is how many radio re-attempts a failed message gets
+	// (via Tick) before failing over to the movement channel.
+	MaxRetries int
+	// Backoff is the number of instants before the first retry; it
+	// doubles after every failed retry. Minimum 1.
+	Backoff int
+	// Deadline fails a message over to the movement channel once this
+	// many instants have passed since submission, even with retries
+	// left. 0 disables the deadline.
+	Deadline int
+	// ProbeEvery is how many instants a failed-over sender waits between
+	// radio probes (attempted failbacks). Minimum 1.
+	ProbeEvery int
+}
+
+// DefaultMessengerPolicy returns the self-healing defaults used by the
+// chaos harness: three retries starting after two instants, a deadline
+// of 64 instants, and a radio probe every 16 instants while failed
+// over.
+func DefaultMessengerPolicy() MessengerPolicy {
+	return MessengerPolicy{MaxRetries: 3, Backoff: 2, Deadline: 64, ProbeEvery: 16}
+}
+
+func (p MessengerPolicy) validate() error {
+	if p.MaxRetries < 0 || p.Backoff < 1 || p.Deadline < 0 || p.ProbeEvery < 1 {
+		return fmt.Errorf("core: invalid messenger policy %+v", p)
+	}
+	return nil
+}
+
+// MessengerStats are the counters of a BackupMessenger.
+type MessengerStats struct {
+	// ViaRadio and ViaMovement count delivered submissions per channel.
+	ViaRadio, ViaMovement int
+	// Retries counts radio re-attempts (initial sends excluded).
+	Retries int
+	// Failovers counts radio→movement transitions of a sender;
+	// Failbacks counts the reverse.
+	Failovers, Failbacks int
+	// Expired counts messages failed over because their deadline passed
+	// before the retry budget did.
+	Expired int
+	// ImplicitAcks counts failed-over messages whose delivery was
+	// confirmed from the observed swarm motion (Lemma 4.1).
+	ImplicitAcks int
+	// PendingRetries and AwaitingAck are the current queue depths.
+	PendingRetries, AwaitingAck int
+}
+
+// pendingMsg is a radio message in its retry loop.
+type pendingMsg struct {
+	from, to  int
+	payload   []byte
+	submitted int // instant of first attempt
+	attempts  int // retries already performed
+	nextTry   int
+}
+
+// ackWatch is a failed-over message awaiting its implicit
+// acknowledgement from the movement channel.
+type ackWatch struct {
+	from, to int
+	payload  []byte
+}
+
+// BackupMessenger is the paper's fault-tolerance application: messages
+// go over the radio when it works and fall back to movement signalling
+// when it does not ("our solution can serve as a communication backup",
+// §1). The movement channel is the coupled Network.
+//
+// With a policy set (SetPolicy) the messenger is self-healing: a failed
+// radio send is retried with exponential backoff, fails over to the
+// movement channel when the retry budget or the per-message deadline is
+// exhausted, and is then watched for its implicit acknowledgement — the
+// delivery record decoded from the receiver-observed swarm motion,
+// which is exactly the sender-side inference of Lemma 4.1. A
+// failed-over sender periodically probes the radio with its next real
+// message and fails back as soon as a probe succeeds. Drive the
+// bookkeeping by calling Tick once per simulation instant, or use
+// Step / RunUntilSettled which do it for you.
+type BackupMessenger struct {
+	radio *Radio
+	net   *Network
+
+	stats MessengerStats
+
+	// Self-healing state; selfHeal false means the legacy
+	// fall-back-once behaviour.
+	selfHeal  bool
+	policy    MessengerPolicy
+	pending   []pendingMsg
+	watches   []ackWatch
+	ackCursor int
+	mode      []Channel
+	probeAt   []int
+}
+
+// NewBackupMessenger couples a radio with a movement-signal network of
+// the same size.
+func NewBackupMessenger(radio *Radio, net *Network) (*BackupMessenger, error) {
+	if radio == nil || net == nil {
+		return nil, errors.New("core: nil radio or network")
+	}
+	if radio.n != net.World().N() {
+		return nil, fmt.Errorf("core: radio for %d robots, network for %d", radio.n, net.World().N())
+	}
+	return &BackupMessenger{radio: radio, net: net}, nil
+}
+
+// SetPolicy enables self-healing with the given policy. Call it before
+// any traffic; switching policies mid-flight is rejected while retries
+// or acknowledgement watches are outstanding.
+func (b *BackupMessenger) SetPolicy(p MessengerPolicy) error {
+	if err := p.validate(); err != nil {
+		return err
+	}
+	if len(b.pending) > 0 || len(b.watches) > 0 {
+		return errors.New("core: messenger policy change with traffic in flight")
+	}
+	b.selfHeal = true
+	b.policy = p
+	if b.mode == nil {
+		n := b.radio.n
+		b.mode = make([]Channel, n)
+		b.probeAt = make([]int, n)
+	}
+	return nil
+}
+
+// Send submits a message. Over a healthy radio it is delivered
+// instantaneously; otherwise the self-healing machinery (or, without a
+// policy, the legacy immediate fall-back) takes over. A nil return
+// means the message is delivered or queued — on the retry queue, or on
+// the movement channel, which the caller drives (Step / RunUntil*).
+func (b *BackupMessenger) Send(from, to int, payload []byte) error {
+	if !b.selfHeal {
+		err := b.radio.Send(from, to, payload)
+		if err == nil {
+			b.stats.ViaRadio++
+			return nil
+		}
+		if !errors.Is(err, ErrRadioFailed) {
+			return err
+		}
+		if qErr := b.net.Send(from, to, payload); qErr != nil {
+			return qErr
+		}
+		b.stats.ViaMovement++
+		return nil
+	}
+	// Validate the endpoints up front so retry attempts can only fail
+	// with ErrRadioFailed.
+	if from < 0 || from >= b.radio.n || to < 0 || to >= b.radio.n {
+		return fmt.Errorf("core: messenger endpoints %d->%d out of range", from, to)
+	}
+	now := b.net.World().Time()
+	if b.mode[from] == ChannelMovement {
+		if now >= b.probeAt[from] {
+			// Probe the radio with this real message (an attempted
+			// failback).
+			if err := b.radio.Send(from, to, payload); err == nil {
+				b.stats.ViaRadio++
+				b.mode[from] = ChannelRadio
+				b.stats.Failbacks++
+				return nil
+			}
+			b.probeAt[from] = now + b.policy.ProbeEvery
+		}
+		return b.divert(from, to, payload, now)
+	}
+	if err := b.radio.Send(from, to, payload); err == nil {
+		b.stats.ViaRadio++
+		return nil
+	}
+	if b.policy.MaxRetries == 0 {
+		return b.divert(from, to, payload, now)
+	}
+	b.pending = append(b.pending, pendingMsg{
+		from: from, to: to,
+		payload:   append([]byte(nil), payload...),
+		submitted: now,
+		nextTry:   now + b.policy.Backoff,
+	})
+	return nil
+}
+
+// divert routes a message over the movement channel, switching the
+// sender's mode (a failover) if it was still on the radio, and watching
+// for the implicit acknowledgement.
+func (b *BackupMessenger) divert(from, to int, payload []byte, now int) error {
+	if err := b.net.Send(from, to, payload); err != nil {
+		return err
+	}
+	b.stats.ViaMovement++
+	if b.mode[from] == ChannelRadio {
+		b.mode[from] = ChannelMovement
+		b.stats.Failovers++
+		b.probeAt[from] = now + b.policy.ProbeEvery
+	}
+	b.watches = append(b.watches, ackWatch{from: from, to: to, payload: append([]byte(nil), payload...)})
+	return nil
+}
+
+// Tick runs one instant of self-healing bookkeeping: due retries,
+// deadline-driven failovers, and implicit-acknowledgement detection.
+// Call it once per simulation step (after the step); without a policy
+// it is a no-op.
+func (b *BackupMessenger) Tick() error {
+	if !b.selfHeal {
+		return nil
+	}
+	now := b.net.World().Time()
+	keep := b.pending[:0]
+	for _, m := range b.pending {
+		if now < m.nextTry {
+			keep = append(keep, m)
+			continue
+		}
+		b.stats.Retries++
+		if err := b.radio.Send(m.from, m.to, m.payload); err == nil {
+			b.stats.ViaRadio++
+			continue
+		}
+		m.attempts++
+		expired := b.policy.Deadline > 0 && now-m.submitted >= b.policy.Deadline
+		if m.attempts >= b.policy.MaxRetries || expired {
+			if expired {
+				b.stats.Expired++
+			}
+			if err := b.divert(m.from, m.to, m.payload, now); err != nil {
+				return err
+			}
+			continue
+		}
+		m.nextTry = now + b.policy.Backoff<<m.attempts
+		keep = append(keep, m)
+	}
+	b.pending = keep
+	// Implicit acknowledgements (Lemma 4.1): a failed-over message is
+	// confirmed when its delivery record appears — decoded purely from
+	// the receiver's observation of the swarm's motion, which is the
+	// same evidence the sender's own observation provides.
+	for _, d := range b.net.DeliveredSince(b.ackCursor) {
+		b.ackCursor++
+		for k, wtc := range b.watches {
+			if wtc.from == d.From && wtc.to == d.To && bytes.Equal(wtc.payload, d.Payload) {
+				b.watches = append(b.watches[:k], b.watches[k+1:]...)
+				b.stats.ImplicitAcks++
+				break
+			}
+		}
+	}
+	return nil
+}
+
+// Step advances the coupled network one instant and then ticks the
+// self-healing machinery.
+func (b *BackupMessenger) Step() error {
+	if err := b.net.Step(); err != nil {
+		return err
+	}
+	return b.Tick()
+}
+
+// Settled reports whether nothing is outstanding: no pending retries,
+// no unacknowledged failovers, and an idle movement channel.
+func (b *BackupMessenger) Settled() bool {
+	return len(b.pending) == 0 && len(b.watches) == 0 && b.net.allIdle()
+}
+
+// RunUntilSettled steps the network (ticking per instant) until the
+// messenger is settled or the budget runs out, returning the number of
+// instants executed.
+func (b *BackupMessenger) RunUntilSettled(maxSteps int) (int, error) {
+	if err := b.Tick(); err != nil {
+		return 0, err
+	}
+	for step := 0; step < maxSteps; step++ {
+		if b.Settled() {
+			return step, nil
+		}
+		if err := b.Step(); err != nil {
+			return step, err
+		}
+	}
+	if b.Settled() {
+		return maxSteps, nil
+	}
+	return maxSteps, fmt.Errorf("%w: messenger not settled after %d steps", ErrNotDelivered, maxSteps)
+}
+
+// Health returns the channel robot i's traffic currently uses. Without
+// a policy every sender reports ChannelRadio (the legacy messenger has
+// no per-sender state). Out-of-range indices report ChannelRadio.
+func (b *BackupMessenger) Health(i int) Channel {
+	if b.mode == nil || i < 0 || i >= len(b.mode) {
+		return ChannelRadio
+	}
+	return b.mode[i]
+}
+
+// Network exposes the movement channel, whose simulation the caller
+// drives (Step / RunUntil*).
+func (b *BackupMessenger) Network() *Network { return b.net }
+
+// Radio exposes the wireless substrate.
+func (b *BackupMessenger) Radio() *Radio { return b.radio }
+
+// Stats returns how many messages went over each channel.
+func (b *BackupMessenger) Stats() (viaRadio, viaMovement int) {
+	return b.stats.ViaRadio, b.stats.ViaMovement
+}
+
+// DetailedStats returns the full counter set, including the current
+// retry and acknowledgement queue depths.
+func (b *BackupMessenger) DetailedStats() MessengerStats {
+	s := b.stats
+	s.PendingRetries = len(b.pending)
+	s.AwaitingAck = len(b.watches)
+	return s
+}

@@ -1,0 +1,253 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestMessengerSelfHealLifecycle is the acceptance scenario: the radio
+// breaks mid-run, the messenger retries with backoff, fails over to the
+// movement channel, confirms the delivery by implicit acknowledgement,
+// and fails back to the radio after it is repaired.
+func TestMessengerSelfHealLifecycle(t *testing.T) {
+	net := buildNetwork(t, 4, false, 21)
+	radio := NewRadio(4, 3)
+	bm, err := NewBackupMessenger(radio, net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := bm.SetPolicy(DefaultMessengerPolicy()); err != nil {
+		t.Fatal(err)
+	}
+
+	// Healthy phase: instantaneous radio delivery.
+	if err := bm.Send(0, 1, []byte("PRE")); err != nil {
+		t.Fatal(err)
+	}
+	if got := radio.Receive(1); len(got) != 1 || !bytes.Equal(got[0].Payload, []byte("PRE")) {
+		t.Fatalf("healthy radio did not deliver: %v", got)
+	}
+	if bm.Health(0) != ChannelRadio {
+		t.Fatal("healthy sender not on the radio channel")
+	}
+
+	// The radio breaks mid-run; the next message must retry, fail over,
+	// ride the movement channel, and be implicitly acknowledged.
+	if err := radio.Break(0); err != nil {
+		t.Fatal(err)
+	}
+	want := []byte("F")
+	if err := bm.Send(0, 2, want); err != nil {
+		t.Fatal(err)
+	}
+	if st := bm.DetailedStats(); st.PendingRetries != 1 {
+		t.Fatalf("failed send not on the retry queue: %+v", st)
+	}
+	if _, err := bm.RunUntilSettled(200_000); err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := net.RunUntilDelivered(1, 0)
+	if err != nil || got[0].To != 2 || !bytes.Equal(got[0].Payload, want) {
+		t.Fatalf("failover delivery = %v, %v", got, err)
+	}
+	st := bm.DetailedStats()
+	if st.Retries != DefaultMessengerPolicy().MaxRetries {
+		t.Errorf("retries = %d, want %d", st.Retries, DefaultMessengerPolicy().MaxRetries)
+	}
+	if st.Failovers != 1 || st.ViaMovement != 1 {
+		t.Errorf("failover not recorded: %+v", st)
+	}
+	if st.ImplicitAcks != 1 || st.AwaitingAck != 0 {
+		t.Errorf("implicit acknowledgement not detected: %+v", st)
+	}
+	if bm.Health(0) != ChannelMovement {
+		t.Error("sender not failed over")
+	}
+
+	// The radio is repaired; the next send probes it and fails back.
+	if err := radio.Repair(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := bm.Send(0, 3, []byte("POST")); err != nil {
+		t.Fatal(err)
+	}
+	if got := radio.Receive(3); len(got) != 1 || !bytes.Equal(got[0].Payload, []byte("POST")) {
+		t.Fatalf("failback did not use the radio: %v", got)
+	}
+	st = bm.DetailedStats()
+	if st.Failbacks != 1 {
+		t.Errorf("failback not recorded: %+v", st)
+	}
+	if bm.Health(0) != ChannelRadio {
+		t.Error("sender did not return to the radio channel")
+	}
+}
+
+// TestMessengerProbeThrottling: while failed over and before the radio
+// recovers, probes are spaced ProbeEvery instants apart — in between,
+// traffic goes straight to the movement channel without touching the
+// radio.
+func TestMessengerProbeThrottling(t *testing.T) {
+	net := buildNetwork(t, 3, false, 22)
+	radio := NewRadio(3, 3)
+	bm, err := NewBackupMessenger(radio, net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := bm.SetPolicy(MessengerPolicy{MaxRetries: 1, Backoff: 1, ProbeEvery: 1_000_000}); err != nil {
+		t.Fatal(err)
+	}
+	if err := radio.Break(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := bm.Send(0, 1, []byte("a")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := bm.RunUntilSettled(200_000); err != nil {
+		t.Fatal(err)
+	}
+	if bm.Health(0) != ChannelMovement {
+		t.Fatal("sender not failed over")
+	}
+	// Repair the radio: with the huge probe interval the next send must
+	// NOT probe — it stays on the movement channel.
+	if err := radio.Repair(0); err != nil {
+		t.Fatal(err)
+	}
+	sentBefore, _, _ := radio.Stats()
+	if err := bm.Send(0, 2, []byte("b")); err != nil {
+		t.Fatal(err)
+	}
+	if sentAfter, _, _ := radio.Stats(); sentAfter != sentBefore {
+		t.Error("probe fired before ProbeEvery elapsed")
+	}
+	if bm.Health(0) != ChannelMovement {
+		t.Error("sender failed back without a probe")
+	}
+}
+
+// TestMessengerDeadlineExpiry: a short deadline fails a message over
+// before its retry budget is spent.
+func TestMessengerDeadlineExpiry(t *testing.T) {
+	net := buildNetwork(t, 3, false, 23)
+	radio := NewRadio(3, 3)
+	bm, err := NewBackupMessenger(radio, net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 100 retries but a 4-instant deadline: the deadline wins.
+	if err := bm.SetPolicy(MessengerPolicy{MaxRetries: 100, Backoff: 2, Deadline: 4, ProbeEvery: 16}); err != nil {
+		t.Fatal(err)
+	}
+	if err := radio.Break(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := bm.Send(0, 1, []byte("d")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := bm.RunUntilSettled(200_000); err != nil {
+		t.Fatal(err)
+	}
+	st := bm.DetailedStats()
+	if st.Expired != 1 || st.Failovers != 1 {
+		t.Errorf("deadline expiry not recorded: %+v", st)
+	}
+	if st.Retries >= 100 {
+		t.Errorf("retry budget spent despite the deadline: %+v", st)
+	}
+}
+
+// TestMessengerZeroRetriesDivertsImmediately: MaxRetries 0 keeps the
+// legacy shape (fail over on first failure) under the self-heal
+// machinery, including the acknowledgement watch.
+func TestMessengerZeroRetriesDivertsImmediately(t *testing.T) {
+	net := buildNetwork(t, 3, false, 24)
+	radio := NewRadio(3, 3)
+	bm, err := NewBackupMessenger(radio, net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := bm.SetPolicy(MessengerPolicy{MaxRetries: 0, Backoff: 1, ProbeEvery: 8}); err != nil {
+		t.Fatal(err)
+	}
+	if err := radio.Break(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := bm.Send(0, 1, []byte("now")); err != nil {
+		t.Fatal(err)
+	}
+	st := bm.DetailedStats()
+	if st.ViaMovement != 1 || st.Failovers != 1 || st.PendingRetries != 0 {
+		t.Errorf("immediate divert not recorded: %+v", st)
+	}
+	if _, err := bm.RunUntilSettled(200_000); err != nil {
+		t.Fatal(err)
+	}
+	if st := bm.DetailedStats(); st.ImplicitAcks != 1 {
+		t.Errorf("implicit acknowledgement missing: %+v", st)
+	}
+}
+
+func TestMessengerPolicyValidation(t *testing.T) {
+	net := buildNetwork(t, 3, false, 25)
+	radio := NewRadio(3, 3)
+	bm, err := NewBackupMessenger(radio, net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := []MessengerPolicy{
+		{MaxRetries: -1, Backoff: 1, ProbeEvery: 1},
+		{MaxRetries: 1, Backoff: 0, ProbeEvery: 1},
+		{MaxRetries: 1, Backoff: 1, ProbeEvery: 0},
+		{MaxRetries: 1, Backoff: 1, Deadline: -1, ProbeEvery: 1},
+	}
+	for _, p := range bad {
+		if err := bm.SetPolicy(p); err == nil {
+			t.Errorf("policy %+v accepted", p)
+		}
+	}
+	if err := bm.SetPolicy(DefaultMessengerPolicy()); err != nil {
+		t.Fatal(err)
+	}
+	// A policy change with traffic in flight is rejected.
+	if err := radio.Break(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := bm.Send(0, 1, []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if err := bm.SetPolicy(DefaultMessengerPolicy()); err == nil {
+		t.Error("policy change with traffic in flight accepted")
+	}
+	// Out-of-range endpoints are rejected up front under self-healing.
+	if err := bm.Send(0, 99, []byte("x")); err == nil {
+		t.Error("out-of-range recipient accepted")
+	}
+}
+
+// TestMessengerLegacyStatsUnchanged: without SetPolicy the messenger
+// keeps the original fall-back-once behaviour and Tick is a no-op.
+func TestMessengerLegacyStatsUnchanged(t *testing.T) {
+	net := buildNetwork(t, 3, false, 26)
+	radio := NewRadio(3, 3)
+	bm, err := NewBackupMessenger(radio, net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := radio.Break(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := bm.Send(0, 1, []byte("L")); err != nil {
+		t.Fatal(err)
+	}
+	if err := bm.Tick(); err != nil {
+		t.Fatal(err)
+	}
+	st := bm.DetailedStats()
+	if st.ViaMovement != 1 || st.Retries != 0 || st.Failovers != 0 {
+		t.Errorf("legacy path gained self-heal state: %+v", st)
+	}
+	if bm.Health(0) != ChannelRadio {
+		t.Error("legacy messenger reports a failed-over channel")
+	}
+}

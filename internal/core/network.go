@@ -149,6 +149,22 @@ func (n *Network) Delivered() []protocol.Received {
 	return append([]protocol.Received(nil), n.delivered...)
 }
 
+// DeliveredSince returns a copy of the deliveries recorded after the
+// first `from` ones, without moving the consumption cursor — an
+// observation window for watchers (the self-healing messenger's
+// implicit-acknowledgement scan) that must not steal deliveries from
+// the application's RunUntil* calls.
+func (n *Network) DeliveredSince(from int) []protocol.Received {
+	n.collect()
+	if from < 0 {
+		from = 0
+	}
+	if from >= len(n.delivered) {
+		return nil
+	}
+	return append([]protocol.Received(nil), n.delivered[from:]...)
+}
+
 func (n *Network) allIdle() bool {
 	for _, e := range n.endpoints {
 		if !e.Idle() {

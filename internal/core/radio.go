@@ -3,6 +3,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"math"
 	"math/rand"
 )
 
@@ -95,11 +96,27 @@ func (r *Radio) Send(from, to int, payload []byte) error {
 	return nil
 }
 
-// Receive drains robot i's radio inbox.
+// Receive drains robot i's radio inbox. Out-of-range indices return nil
+// (no such robot, hence no inbox), matching Broken's contract instead of
+// panicking.
 func (r *Radio) Receive(i int) []RadioMessage {
+	if i < 0 || i >= r.n {
+		return nil
+	}
 	out := r.inboxes[i]
 	r.inboxes[i] = nil
 	return out
+}
+
+// SetJamming validates and sets the jamming probability. NaN and values
+// outside [0,1] are rejected instead of silently behaving as always-lose
+// (p > 1) or never-lose (negative).
+func (r *Radio) SetJamming(p float64) error {
+	if math.IsNaN(p) || p < 0 || p > 1 {
+		return fmt.Errorf("core: jam probability %v outside [0,1]", p)
+	}
+	r.JamProb = p
+	return nil
 }
 
 // Stats returns (sent, delivered, lost) counters.
@@ -107,56 +124,5 @@ func (r *Radio) Stats() (sent, delivered, lost int) {
 	return r.sent, r.delivered, r.lost
 }
 
-// BackupMessenger is the paper's fault-tolerance application: messages
-// go over the radio when it works and fall back to movement signalling
-// when it does not ("our solution can serve as a communication backup",
-// §1). The movement channel is the coupled Network.
-type BackupMessenger struct {
-	radio *Radio
-	net   *Network
-
-	viaRadio    int
-	viaMovement int
-}
-
-// NewBackupMessenger couples a radio with a movement-signal network of
-// the same size.
-func NewBackupMessenger(radio *Radio, net *Network) (*BackupMessenger, error) {
-	if radio == nil || net == nil {
-		return nil, errors.New("core: nil radio or network")
-	}
-	if radio.n != net.World().N() {
-		return nil, fmt.Errorf("core: radio for %d robots, network for %d", radio.n, net.World().N())
-	}
-	return &BackupMessenger{radio: radio, net: net}, nil
-}
-
-// Send delivers the message over the radio if possible, otherwise
-// queues it on the movement channel.
-func (b *BackupMessenger) Send(from, to int, payload []byte) error {
-	err := b.radio.Send(from, to, payload)
-	if err == nil {
-		b.viaRadio++
-		return nil
-	}
-	if !errors.Is(err, ErrRadioFailed) {
-		return err
-	}
-	if qErr := b.net.Send(from, to, payload); qErr != nil {
-		return qErr
-	}
-	b.viaMovement++
-	return nil
-}
-
-// Network exposes the movement channel, whose simulation the caller
-// drives (Step / RunUntil*).
-func (b *BackupMessenger) Network() *Network { return b.net }
-
-// Radio exposes the wireless substrate.
-func (b *BackupMessenger) Radio() *Radio { return b.radio }
-
-// Stats returns how many messages went over each channel.
-func (b *BackupMessenger) Stats() (viaRadio, viaMovement int) {
-	return b.viaRadio, b.viaMovement
-}
+// BackupMessenger — the paper's fault-tolerance application of movement
+// signalling as a wireless backup — lives in messenger.go.

@@ -1,0 +1,256 @@
+package fault
+
+import (
+	"fmt"
+
+	"waggle/internal/geom"
+	"waggle/internal/sim"
+)
+
+// RadioControl is the slice of a radio the injector drives for
+// RadioOutage and JamRamp events. Both core.Radio and the public
+// waggle.Radio implement it.
+type RadioControl interface {
+	Break(i int) error
+	Repair(i int) error
+	SetJamming(p float64) error
+}
+
+// Injector compiles a Plan into the simulator's fault hooks. Attach it
+// with World.SetInjector; radio events additionally need AttachRadio.
+//
+// The injector owns the fault state of whatever the plan names: robots
+// listed in RadioOutage events are broken and repaired by the injector
+// (manual Break calls on them will be overridden at window edges), and
+// JamRamp windows overwrite the jamming probability.
+type Injector struct {
+	plan Plan
+	n    int
+	seed int64
+
+	radio RadioControl
+
+	crashed []bool
+	// prevOutage and prevJam track the injector's own last-applied radio
+	// state so Break/Repair/SetJamming fire only at window transitions,
+	// leaving manual radio control outside the plan's windows alone.
+	prevOutage []bool
+	prevJam    bool
+
+	// dropMask holds one full-visibility mask per robot for DropSight
+	// perturbations of views that had no Visible slice of their own.
+	// Each robot owns exactly one mask, so concurrent PerturbView calls
+	// never share one.
+	dropMask [][]bool
+}
+
+var _ sim.Injector = (*Injector)(nil)
+
+// NewInjector validates the plan against a system of n robots and
+// compiles it. The seed drives every randomized perturbation; equal
+// (plan, n, seed) triples produce byte-identical fault schedules.
+func NewInjector(plan Plan, n int, seed int64) (*Injector, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("fault: injector for %d robots", n)
+	}
+	if err := plan.Validate(n); err != nil {
+		return nil, err
+	}
+	inj := &Injector{
+		plan:       plan,
+		n:          n,
+		seed:       seed,
+		crashed:    make([]bool, n),
+		prevOutage: make([]bool, n),
+		dropMask:   make([][]bool, n),
+	}
+	for i := range inj.dropMask {
+		inj.dropMask[i] = make([]bool, n)
+	}
+	return inj, nil
+}
+
+// AttachRadio couples the radio the plan's RadioOutage/JamRamp events
+// drive. Returns an error if the plan has radio events and r is nil.
+func (inj *Injector) AttachRadio(r RadioControl) error {
+	if r == nil && inj.plan.NeedsRadio() {
+		return fmt.Errorf("fault: plan schedules radio events but no radio is attached")
+	}
+	inj.radio = r
+	return nil
+}
+
+// Plan returns the compiled plan.
+func (inj *Injector) Plan() Plan { return inj.plan }
+
+// Crashed reports whether robot i is crash-stopped at instant t.
+func (inj *Injector) Crashed(t, i int) bool {
+	for _, e := range inj.plan.Events {
+		if e.Kind == Crash && e.active(t) && e.hits(i) {
+			return true
+		}
+	}
+	return false
+}
+
+// BeginStep implements sim.Injector: displacements, crash bookkeeping,
+// and the coupled radio's window transitions.
+func (inj *Injector) BeginStep(t int, w *sim.World) {
+	for i := range inj.crashed {
+		inj.crashed[i] = false
+	}
+	jam, jamActive := 0.0, false
+	for _, e := range inj.plan.Events {
+		switch e.Kind {
+		case Displace:
+			if t == e.At {
+				inj.forEachTarget(func(i int) {
+					// Teleport validates the index; plan validation
+					// already guaranteed it.
+					_ = w.Teleport(i, w.Position(i).Add(e.Delta))
+				}, e)
+			}
+		case Crash:
+			if e.active(t) {
+				inj.forEachTarget(func(i int) { inj.crashed[i] = true }, e)
+			}
+		case JamRamp:
+			if e.active(t) {
+				jamActive = true
+				span := e.Until - 1 - e.At
+				frac := 1.0
+				if span > 0 {
+					frac = float64(t-e.At) / float64(span)
+				}
+				jam = e.Min + (e.Max-e.Min)*frac
+			}
+		}
+	}
+	if inj.radio == nil {
+		return
+	}
+	// Outage windows: fire Break/Repair only on transitions so manual
+	// radio control outside the plan's windows is left alone.
+	for i := 0; i < inj.n; i++ {
+		want := false
+		for _, e := range inj.plan.Events {
+			if e.Kind == RadioOutage && e.active(t) && e.hits(i) {
+				want = true
+				break
+			}
+		}
+		if want && !inj.prevOutage[i] {
+			_ = inj.radio.Break(i)
+		}
+		if !want && inj.prevOutage[i] {
+			_ = inj.radio.Repair(i)
+		}
+		inj.prevOutage[i] = want
+	}
+	if jamActive {
+		_ = inj.radio.SetJamming(clamp01(jam))
+		inj.prevJam = true
+	} else if inj.prevJam {
+		_ = inj.radio.SetJamming(0)
+		inj.prevJam = false
+	}
+}
+
+// FilterActive implements sim.Injector: crash-stopped robots drop out
+// of the activation set in place, preserving order.
+func (inj *Injector) FilterActive(t int, active []int) []int {
+	out := active[:0]
+	for _, i := range active {
+		if !inj.crashed[i] {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// PerturbView implements sim.Injector: sensor noise and dropped
+// sightings, rewritten into the observer's own scratch slices. Safe
+// under the parallel engine — every random draw is keyed by
+// (seed, t, observer, target, event) and the only mutable state touched
+// is the observer's own.
+func (inj *Injector) PerturbView(t, observer int, frame geom.Frame, view sim.View) sim.View {
+	for idx, e := range inj.plan.Events {
+		if !e.active(t) || !e.hits(observer) {
+			continue
+		}
+		switch e.Kind {
+		case ObserveNoise:
+			if e.Mag == 0 {
+				continue
+			}
+			for j := range view.Points {
+				if j == view.Self || !visibleIn(view, j) {
+					continue
+				}
+				gx, gy := gauss2(key(inj.seed, t, observer, j, idx))
+				noise := frame.VecToLocal(geom.V(gx*e.Mag, gy*e.Mag))
+				view.Points[j] = view.Points[j].Add(noise)
+			}
+		case DropSight:
+			if e.Mag == 0 {
+				continue
+			}
+			if view.Visible == nil {
+				mask := inj.dropMask[observer]
+				for j := range mask {
+					mask[j] = true
+				}
+				view.Visible = mask
+			}
+			for j := range view.Points {
+				if j == view.Self || !view.Visible[j] {
+					continue
+				}
+				if unit(key(inj.seed, t, observer, j, ^idx)) < e.Mag {
+					// The sensor reports nothing there: same convention
+					// as limited visibility — the slot holds the
+					// observer's own position.
+					view.Visible[j] = false
+					view.Points[j] = view.Points[view.Self]
+				}
+			}
+		}
+	}
+	return view
+}
+
+// PerturbMove implements sim.Injector: movement truncation/overshoot.
+func (inj *Injector) PerturbMove(t, robot int, from, dest geom.Point) geom.Point {
+	for idx, e := range inj.plan.Events {
+		if e.Kind != MoveError || !e.active(t) || !e.hits(robot) {
+			continue
+		}
+		f := e.Min + unit(key(inj.seed, t, robot, robot, idx))*(e.Max-e.Min)
+		dest = from.Add(dest.Sub(from).Scale(f))
+	}
+	return dest
+}
+
+func (inj *Injector) forEachTarget(fn func(i int), e Event) {
+	if e.Robot == AllRobots {
+		for i := 0; i < inj.n; i++ {
+			fn(i)
+		}
+		return
+	}
+	fn(e.Robot)
+}
+
+func visibleIn(v sim.View, j int) bool {
+	return v.Visible == nil || v.Visible[j]
+}
+
+func clamp01(p float64) float64 {
+	if p < 0 {
+		return 0
+	}
+	if p > 1 {
+		return 1
+	}
+	return p
+}

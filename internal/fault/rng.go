@@ -1,0 +1,42 @@
+package fault
+
+import "math"
+
+// The injector never draws from a shared random stream: every choice is
+// a pure function of (seed, instant, robot, target, event index) hashed
+// through splitmix64. That makes each perturbation independent of call
+// order, which is what keeps the parallel engine's concurrent
+// PerturbView calls byte-identical to the sequential engine's.
+
+// mix64 is the splitmix64 finalizer.
+func mix64(x uint64) uint64 {
+	x += 0x9E3779B97F4A7C15
+	x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9
+	x = (x ^ (x >> 27)) * 0x94D049BB133111EB
+	return x ^ (x >> 31)
+}
+
+// key folds the identifying coordinates of one random decision into a
+// single hash.
+func key(seed int64, t, a, b, event int) uint64 {
+	h := mix64(uint64(seed))
+	h = mix64(h ^ uint64(uint32(t)))
+	h = mix64(h ^ uint64(uint32(a))<<32)
+	h = mix64(h ^ uint64(uint32(b)))
+	return mix64(h ^ uint64(uint32(event))<<16)
+}
+
+// unit maps a hash onto (0,1): the half-open offset keeps log(u) finite
+// for the Box-Muller transform below.
+func unit(h uint64) float64 {
+	return (float64(h>>11) + 0.5) / (1 << 53)
+}
+
+// gauss2 derives two independent standard normal variates from a hash
+// via the Box-Muller transform.
+func gauss2(h uint64) (float64, float64) {
+	u1 := unit(h)
+	u2 := unit(mix64(h ^ 0xD1B54A32D192ED03))
+	r := math.Sqrt(-2 * math.Log(u1))
+	return r * math.Cos(2*math.Pi*u2), r * math.Sin(2*math.Pi*u2)
+}

@@ -10,7 +10,7 @@ import (
 // Stabilizing implements the paper's §5 stabilization sketch for the
 // synchronous setting: "assuming a global clock ... returning to the
 // initial location and (re)computing the preprocessing phase every
-// round timestamp". Every Epoch activations the wrapper discards the
+// round timestamp". Every Epoch instants the wrapper discards the
 // inner protocol behavior and builds a fresh one, which re-runs the
 // whole preprocessing (granulars, naming) from the configuration it
 // then observes. Any transient fault — corrupted robot memory, a robot
@@ -23,34 +23,46 @@ import (
 // unstarted messages survive, because the outbox lives on the Endpoint,
 // not in the discarded behavior.
 //
-// The wrapper relies on all robots sharing activation counts, so it is
-// only sound under synchronous schedulers — exactly the setting in
-// which the paper deems stabilization achievable (the asynchronous case
-// is left open there, and here).
+// Epoch boundaries are instants of the global clock (view.Time), the
+// clock the paper's sketch assumes: every robot re-initialises on its
+// first activation inside each epoch window, whether or not it was
+// activated at the boundary itself. A robot that misses activations —
+// an adversarial scheduler, or a crash-stop fault that later recovers
+// (internal/fault) — therefore resynchronises with the swarm at the
+// next boundary instead of drifting onto a private epoch phase, which
+// a per-robot activation counter would suffer. The wrapper is only
+// sound under synchronous schedulers — exactly the setting in which the
+// paper deems stabilization achievable (the asynchronous case is left
+// open there, and here).
 type Stabilizing struct {
 	// Make builds a fresh inner behavior bound to the robot's endpoint.
 	Make func() sim.Behavior
-	// Epoch is the re-initialisation period in activations (> 0).
+	// Epoch is the re-initialisation period in global-clock instants
+	// (> 0).
 	Epoch int
 
-	inner sim.Behavior
-	count int
+	inner   sim.Behavior
+	epochAt int // epoch index the current inner behavior was built in
 }
 
 var _ sim.Behavior = (*Stabilizing)(nil)
 
 // Step implements sim.Behavior.
 func (s *Stabilizing) Step(view sim.View) geom.Point {
-	if s.inner == nil || (s.Epoch > 0 && s.count%s.Epoch == 0 && s.count > 0) {
-		s.inner = s.Make()
+	ep := 0
+	if s.Epoch > 0 {
+		ep = view.Time / s.Epoch
 	}
-	s.count++
+	if s.inner == nil || ep != s.epochAt {
+		s.inner = s.Make()
+		s.epochAt = ep
+	}
 	return s.inner.Step(view)
 }
 
 // NewStabilizingSyncN builds the n-robot synchronous protocol with
 // epoch-based self-stabilization: behaviors discard and recompute all
-// protocol state every epoch activations. epoch must comfortably exceed
+// protocol state every epoch instants. epoch must comfortably exceed
 // the longest transmission (2 instants per frame bit) or messages can
 // never complete within an epoch.
 func NewStabilizingSyncN(n, epoch int, cfg SyncNConfig) ([]sim.Behavior, []*Endpoint, error) {

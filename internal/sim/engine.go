@@ -130,6 +130,13 @@ func (w *World) safeComputeMove(i int) (dest geom.Point, err error) {
 func (w *World) computeMove(i int) (geom.Point, error) {
 	r := w.robots[i]
 	view := w.localView(i, w.snapshot)
+	if w.inject != nil {
+		// Observation faults (noise, dropped sightings). The hook runs
+		// concurrently under the parallel engine; injectors are
+		// deterministic per (time, observer), so the execution is
+		// engine-independent.
+		view = w.inject.PerturbView(w.time, i, r.Frame, view)
+	}
 	localDest := r.Behavior.Step(view)
 	worldDest := r.Frame.ToWorld(localDest)
 	// Reject non-finite destinations before the sigma clamp: NaN

@@ -124,6 +124,10 @@ type World struct {
 	// is the benchmark/debug switch (SetViewIndexing).
 	viewIndex    *spatial.Grid
 	viewIndexOff bool
+
+	// inject is the optional fault-injection hook surface (see
+	// inject.go); nil means a fault-free world.
+	inject Injector
 }
 
 // Config configures a World.
@@ -267,12 +271,39 @@ func (w *World) Step(s Scheduler) ([]int, error) {
 		w.seen[i] = true
 	}
 	w.resetSeen(active)
+	if w.inject != nil {
+		// Faults first mutate the world (displacements, coupled radio
+		// state), then may crash-stop robots out of the activation set.
+		w.inject.BeginStep(w.time, w)
+		active = w.inject.FilterActive(w.time, active)
+		if len(active) == 0 {
+			// Every activated robot is crash-stopped: the instant
+			// passes with no observations and no moves.
+			if w.trace != nil {
+				w.trace.endStep(w.time, active, w.pos)
+			}
+			w.time++
+			return active, nil
+		}
+	}
 	// All active robots observe the same snapshot.
 	w.prepareStep(len(active))
 	w.computeMoves(active)
 	for _, err := range w.errs {
 		if err != nil {
 			return nil, err
+		}
+	}
+	if w.inject != nil {
+		// Movement faults rewrite the faithful destinations before any
+		// move is applied, so a non-finite perturbation cannot leave the
+		// configuration half-updated.
+		for k, i := range active {
+			d := w.inject.PerturbMove(w.time, i, w.pos[i], w.dests[k])
+			if !isFinite(d) {
+				return nil, fmt.Errorf("sim: injector produced non-finite destination %v for robot %d", d, i)
+			}
+			w.dests[k] = d
 		}
 	}
 	// Apply simultaneously.

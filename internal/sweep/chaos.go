@@ -1,0 +1,459 @@
+// Chaos is the fault-injection harness: scripted fault plans
+// (internal/fault via the public FaultPlan API) swept across protocols
+// and schedulers, reporting per-scenario delivery rate, latency,
+// messenger retry counters, and steps-to-recover. cmd/waggle-chaos
+// prints the table; EXPERIMENTS.md records it; `make chaos-check`
+// smoke-runs one fast scenario per fault family.
+//
+// Every scenario is deterministic: the swarm seed keys the scheduler,
+// the frames, every randomized fault draw (splitmix64, not stream
+// state) and the radio jamming, so identical seeds reproduce identical
+// reports — under the sequential and the parallel engine alike.
+package sweep
+
+import (
+	"bytes"
+	"fmt"
+
+	"waggle"
+	"waggle/internal/geom"
+	"waggle/internal/render"
+	"waggle/internal/spatial"
+)
+
+// ChaosSend is one scheduled message of a chaos scenario. Tag is the
+// single-byte payload and must be unique within the scenario, so
+// deliveries can be attributed to their submission even when fault
+// windows corrupt or reorder traffic. Post marks probe traffic sent
+// after the fault window, used to measure steps-to-recover.
+type ChaosSend struct {
+	At, From, To int
+	Tag          byte
+	Post         bool
+}
+
+// ChaosScenario is one scripted run of the chaos harness: a swarm
+// configuration, a fault plan, and a message timeline.
+type ChaosScenario struct {
+	// Name and Family label the table row (Family is the fault family
+	// under test: crash, displacement, observation, movement, radio,
+	// combined).
+	Name, Family string
+	// Positions is the initial configuration.
+	Positions []waggle.Point
+	// Seed keys every random choice of the run.
+	Seed int64
+	// Epoch enables §5 stabilization (0 = plain protocol).
+	Epoch int
+	// Async selects the asynchronous setting (default scheduler) instead
+	// of the synchronous one.
+	Async bool
+	// Radio wires a radio plus a self-healing BackupMessenger
+	// (DefaultMessengerPolicy) and routes all sends through it.
+	Radio bool
+	// Budget bounds the run in instants.
+	Budget int
+	// FaultEnd is the first fault-free instant (Plan.End), the baseline
+	// for steps-to-recover.
+	FaultEnd int
+	// Plan is the fault schedule.
+	Plan waggle.FaultPlan
+	// Sends is the message timeline.
+	Sends []ChaosSend
+}
+
+// ChaosResult is the measured outcome of one scenario.
+type ChaosResult struct {
+	Scenario, Family, Protocol string
+	Sent, Delivered            int
+	// MeanLatency is the mean instants from submission to delivery over
+	// the delivered messages.
+	MeanLatency float64
+	// Messenger counters (zero for scenarios without a radio).
+	Retries, Failovers, Failbacks, ImplicitAcks int
+	// StepsToRecover is the fault-end-to-delivery time of the first
+	// post-fault probe message, or -1 when none was delivered.
+	StepsToRecover int
+	// TraceCSV is the full movement trace, when requested — the
+	// byte-identical-replay check of the determinism tests.
+	TraceCSV string
+}
+
+// Rate returns the delivery rate.
+func (r ChaosResult) Rate() float64 {
+	if r.Sent == 0 {
+		return 0
+	}
+	return float64(r.Delivered) / float64(r.Sent)
+}
+
+// chaosEpoch is the stabilization epoch of the synchronous scenarios:
+// comfortably above the 48-instant one-byte frame, small enough that
+// recovery fits a short run.
+const chaosEpoch = 120
+
+// granularRadiiOf computes the per-robot granular radius (half the
+// nearest-neighbour distance) of a configuration — the unit in which
+// displacement and noise magnitudes are meaningful.
+func granularRadiiOf(pts []waggle.Point) []float64 {
+	gp := make([]geom.Point, len(pts))
+	for i, p := range pts {
+		gp[i] = geom.Pt(p.X, p.Y)
+	}
+	return spatial.NearestRadii(gp)
+}
+
+func minOf(xs []float64) float64 {
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x < m {
+			m = x
+		}
+	}
+	return m
+}
+
+// ChaosScenarios scripts the harness's fault scenarios, one or more per
+// family: crash-recover under stabilizing SyncN and under plain AsyncN
+// (which tolerates crash windows by construction — a crash is just an
+// adversarial activation delay), transient displacement, observation
+// noise, dropped sightings, movement truncation, a radio outage and a
+// jamming ramp against the self-healing messenger, and a combined plan
+// breaking both channels at once.
+func ChaosScenarios(seed int64) []ChaosScenario {
+	six := positionsFor(6, seed+40)
+	rad6 := granularRadiiOf(six)
+	four := positionsFor(4, seed+41)
+
+	// The synchronous scenarios share one timeline: pre-fault traffic at
+	// t=2, the fault window inside [60,240) (spanning the t=120 epoch
+	// boundary), traffic mid-fault, and post-fault probes after the
+	// first clean epoch boundary.
+	displaced := geom.V(3, 2).Unit().Scale(0.95 * rad6[1])
+
+	return []ChaosScenario{
+		{
+			Name: "crash-sync", Family: "crash",
+			Positions: six, Seed: seed, Epoch: chaosEpoch, Budget: 1_500,
+			// The sender crash-stops mid-transmission and recovers into a
+			// later epoch: the in-flight frame is lost at the boundary,
+			// the queued-but-unstarted message survives on the endpoint
+			// outbox and goes out after recovery.
+			Plan: waggle.FaultPlan{Events: []waggle.FaultEvent{
+				{Kind: waggle.FaultCrash, Robot: 0, At: 70, Until: 240},
+			}},
+			FaultEnd: 240,
+			Sends: []ChaosSend{
+				{At: 2, From: 0, To: 1, Tag: 'A'},
+				{At: 50, From: 0, To: 2, Tag: 'B'},  // in flight at the crash: lost
+				{At: 100, From: 0, To: 3, Tag: 'C'}, // queued while crashed: survives
+				{At: 242, From: 0, To: 4, Tag: 'D', Post: true},
+			},
+		},
+		{
+			Name: "crash-async", Family: "crash",
+			Positions: four, Seed: seed, Async: true, Budget: 400_000,
+			Plan: waggle.FaultPlan{Events: []waggle.FaultEvent{
+				{Kind: waggle.FaultCrash, Robot: 1, At: 200, Until: 1_400},
+			}},
+			FaultEnd: 1_400,
+			Sends: []ChaosSend{
+				{At: 2, From: 0, To: 1, Tag: 'A'},
+				{At: 100, From: 0, To: 1, Tag: 'B'}, // stalls while the receiver is down
+				{At: 1_402, From: 0, To: 1, Tag: 'C', Post: true},
+			},
+		},
+		{
+			Name: "displace-sync", Family: "displacement",
+			Positions: six, Seed: seed, Epoch: chaosEpoch, Budget: 1_000,
+			// The receiver is displaced by most of its granular radius:
+			// enough to desynchronise every observer's bookkeeping of it,
+			// flushed at the next epoch boundary when current positions
+			// become the new homes.
+			Plan: waggle.FaultPlan{Events: []waggle.FaultEvent{
+				{Kind: waggle.FaultDisplace, Robot: 1, At: 60, DX: displaced.X, DY: displaced.Y},
+			}},
+			FaultEnd: 61,
+			Sends: []ChaosSend{
+				{At: 2, From: 0, To: 1, Tag: 'A'},
+				{At: 30, From: 0, To: 1, Tag: 'B'}, // in flight at the displacement
+				{At: 122, From: 0, To: 1, Tag: 'C', Post: true},
+			},
+		},
+		{
+			Name: "obs-noise-sync", Family: "observation",
+			Positions: six, Seed: seed, Epoch: chaosEpoch, Budget: 1_000,
+			Plan: waggle.FaultPlan{Events: []waggle.FaultEvent{
+				{Kind: waggle.FaultObserveNoise, Robot: -1, At: 60, Until: 120, Mag: 0.35 * minOf(rad6)},
+			}},
+			FaultEnd: 120,
+			Sends: []ChaosSend{
+				{At: 2, From: 0, To: 2, Tag: 'A'},
+				{At: 66, From: 0, To: 2, Tag: 'B'}, // transmitted through the noise
+				{At: 122, From: 0, To: 3, Tag: 'C', Post: true},
+			},
+		},
+		{
+			Name: "drop-sight-sync", Family: "observation",
+			Positions: six, Seed: seed, Epoch: chaosEpoch, Budget: 1_000,
+			Plan: waggle.FaultPlan{Events: []waggle.FaultEvent{
+				{Kind: waggle.FaultDropSight, Robot: -1, At: 60, Until: 120, Mag: 0.5},
+			}},
+			FaultEnd: 120,
+			Sends: []ChaosSend{
+				{At: 2, From: 0, To: 2, Tag: 'A'},
+				{At: 66, From: 0, To: 2, Tag: 'B'},
+				{At: 122, From: 0, To: 3, Tag: 'C', Post: true},
+			},
+		},
+		{
+			Name: "move-error-sync", Family: "movement",
+			Positions: six, Seed: seed, Epoch: chaosEpoch, Budget: 1_000,
+			// The sender's moves are truncated to as little as 5% of the
+			// command: excursions shrink below the classification
+			// threshold and its dead reckoning drifts off its home.
+			Plan: waggle.FaultPlan{Events: []waggle.FaultEvent{
+				{Kind: waggle.FaultMoveError, Robot: 0, At: 60, Until: 120, Min: 0.05, Max: 1.2},
+			}},
+			FaultEnd: 120,
+			Sends: []ChaosSend{
+				{At: 2, From: 0, To: 2, Tag: 'A'},
+				{At: 66, From: 0, To: 2, Tag: 'B'},
+				{At: 122, From: 0, To: 3, Tag: 'C', Post: true},
+			},
+		},
+		{
+			Name: "radio-outage", Family: "radio",
+			Positions: four, Seed: seed, Radio: true, Budget: 800,
+			// The sender's transmitter breaks for 360 instants: the
+			// messenger retries with backoff, fails over to the movement
+			// channel, confirms deliveries by implicit acknowledgement,
+			// and fails back on its first probe after the repair.
+			Plan: waggle.FaultPlan{Events: []waggle.FaultEvent{
+				{Kind: waggle.FaultRadioOutage, Robot: 0, At: 40, Until: 400},
+			}},
+			FaultEnd: 400,
+			Sends: []ChaosSend{
+				{At: 2, From: 0, To: 1, Tag: 'A'},
+				{At: 50, From: 0, To: 2, Tag: 'B'},
+				{At: 150, From: 0, To: 3, Tag: 'C'},
+				{At: 402, From: 0, To: 1, Tag: 'D', Post: true},
+			},
+		},
+		{
+			Name: "jam-ramp", Family: "radio",
+			Positions: four, Seed: seed, Radio: true, Budget: 1_200,
+			Plan: waggle.FaultPlan{Events: []waggle.FaultEvent{
+				{Kind: waggle.FaultJamRamp, Robot: -1, At: 40, Until: 360, Min: 0, Max: 1},
+			}},
+			FaultEnd: 360,
+			Sends: []ChaosSend{
+				{At: 10, From: 0, To: 1, Tag: 'A'},
+				{At: 100, From: 0, To: 2, Tag: 'B'},
+				{At: 200, From: 0, To: 3, Tag: 'C'},
+				{At: 280, From: 0, To: 1, Tag: 'D'},
+				{At: 362, From: 0, To: 2, Tag: 'E', Post: true},
+			},
+		},
+		{
+			Name: "combined", Family: "combined",
+			Positions: six, Seed: seed, Epoch: chaosEpoch, Radio: true, Budget: 1_500,
+			// Both channels break at once: the radio jams while a crash,
+			// a displacement and movement errors corrupt the movement
+			// channel the messenger fails over to. Stabilization heals
+			// the movement channel at the epoch boundary; the jam lifting
+			// heals the radio; the post probe confirms the failback.
+			Plan: waggle.FaultPlan{Events: []waggle.FaultEvent{
+				{Kind: waggle.FaultJamRamp, Robot: -1, At: 40, Until: 240, Min: 0.3, Max: 1},
+				{Kind: waggle.FaultCrash, Robot: 3, At: 60, Until: 180},
+				{Kind: waggle.FaultDisplace, Robot: 1, At: 70, DX: displaced.X, DY: displaced.Y},
+				{Kind: waggle.FaultMoveError, Robot: -1, At: 80, Until: 160, Min: 0.5, Max: 1.2},
+			}},
+			FaultEnd: 240,
+			Sends: []ChaosSend{
+				{At: 2, From: 0, To: 1, Tag: 'A'},
+				{At: 90, From: 0, To: 2, Tag: 'B'},
+				{At: 150, From: 0, To: 4, Tag: 'C'},
+				{At: 242, From: 0, To: 5, Tag: 'D', Post: true},
+			},
+		},
+	}
+}
+
+// RunChaosScenario executes one scenario under the given engine. With
+// trace set, the full movement trace is captured into the result (for
+// the byte-identical determinism checks).
+func RunChaosScenario(sc ChaosScenario, engine waggle.EngineMode, trace bool) (*ChaosResult, error) {
+	n := len(sc.Positions)
+	fail := func(err error) (*ChaosResult, error) {
+		return nil, fmt.Errorf("chaos %s: %w", sc.Name, err)
+	}
+	opts := []waggle.Option{waggle.WithSeed(sc.Seed), waggle.WithEngine(engine)}
+	if !sc.Async {
+		opts = append(opts, waggle.WithSynchronous())
+	}
+	if sc.Epoch > 0 {
+		opts = append(opts, waggle.WithStabilization(sc.Epoch))
+	}
+	if trace {
+		opts = append(opts, waggle.WithTrace())
+	}
+	var radio *waggle.Radio
+	if sc.Radio {
+		radio = waggle.NewRadio(n, sc.Seed^0x7AD10)
+		opts = append(opts, waggle.WithFaultRadio(radio))
+	}
+	if len(sc.Plan.Events) > 0 {
+		opts = append(opts, waggle.WithFaultPlan(sc.Plan))
+	}
+	s, err := waggle.NewSwarm(sc.Positions, opts...)
+	if err != nil {
+		return fail(err)
+	}
+	var bm *waggle.BackupMessenger
+	if sc.Radio {
+		if bm, err = waggle.NewBackupMessenger(radio, s); err != nil {
+			return fail(err)
+		}
+		if err := bm.SetPolicy(waggle.DefaultMessengerPolicy()); err != nil {
+			return fail(err)
+		}
+	}
+
+	type msgState struct {
+		send                ChaosSend
+		sentAt, deliveredAt int
+	}
+	msgs := make([]msgState, len(sc.Sends))
+	for i, m := range sc.Sends {
+		msgs[i] = msgState{send: m, sentAt: -1, deliveredAt: -1}
+	}
+	// match attributes a delivery (or radio receipt) to the oldest
+	// outstanding submission with the same route and tag; decoded
+	// garbage matches nothing and is simply not counted.
+	match := func(from, to int, payload []byte, now int) {
+		if len(payload) != 1 {
+			return
+		}
+		for k := range msgs {
+			m := &msgs[k]
+			if m.sentAt >= 0 && m.deliveredAt < 0 &&
+				m.send.From == from && m.send.To == to && m.send.Tag == payload[0] {
+				m.deliveredAt = now
+				return
+			}
+		}
+	}
+
+	cursor := 0
+	for t := 0; t < sc.Budget; t++ {
+		for k := range msgs {
+			m := &msgs[k]
+			if m.send.At != t {
+				continue
+			}
+			m.sentAt = t
+			payload := []byte{m.send.Tag}
+			if bm != nil {
+				err = bm.Send(m.send.From, m.send.To, payload)
+			} else {
+				err = s.Send(m.send.From, m.send.To, payload)
+			}
+			if err != nil {
+				return fail(err)
+			}
+		}
+		if bm != nil {
+			err = bm.Step()
+		} else {
+			err = s.Step()
+		}
+		if err != nil {
+			return fail(err)
+		}
+		now := s.Time()
+		if radio != nil {
+			for i := 0; i < n; i++ {
+				for _, rm := range radio.Receive(i) {
+					match(rm.From, rm.To, rm.Payload, now)
+				}
+			}
+		}
+		all := s.Delivered()
+		for ; cursor < len(all); cursor++ {
+			d := all[cursor]
+			match(d.From, d.To, d.Payload, now)
+		}
+		done := true
+		for k := range msgs {
+			if msgs[k].sentAt < 0 || msgs[k].deliveredAt < 0 {
+				done = false
+				break
+			}
+		}
+		if done {
+			break
+		}
+	}
+
+	proto := s.Protocol().String()
+	if sc.Epoch > 0 {
+		proto = fmt.Sprintf("%s+stab(%d)", proto, sc.Epoch)
+	}
+	res := &ChaosResult{
+		Scenario: sc.Name, Family: sc.Family, Protocol: proto,
+		Sent: len(msgs), StepsToRecover: -1,
+	}
+	var latency float64
+	for k := range msgs {
+		m := &msgs[k]
+		if m.deliveredAt < 0 {
+			continue
+		}
+		res.Delivered++
+		latency += float64(m.deliveredAt - m.sentAt)
+		if m.send.Post {
+			r := m.deliveredAt - sc.FaultEnd
+			if res.StepsToRecover < 0 || r < res.StepsToRecover {
+				res.StepsToRecover = r
+			}
+		}
+	}
+	if res.Delivered > 0 {
+		res.MeanLatency = latency / float64(res.Delivered)
+	}
+	if bm != nil {
+		st := bm.DetailedStats()
+		res.Retries = st.Retries
+		res.Failovers = st.Failovers
+		res.Failbacks = st.Failbacks
+		res.ImplicitAcks = st.ImplicitAcks
+	}
+	if trace {
+		var buf bytes.Buffer
+		if err := s.WriteTraceCSV(&buf); err != nil {
+			return fail(err)
+		}
+		res.TraceCSV = buf.String()
+	}
+	return res, nil
+}
+
+// ChaosTable runs every scenario and formats the report.
+func ChaosTable(seed int64, engine waggle.EngineMode) (*render.Table, error) {
+	tbl := render.NewTable("scenario", "family", "protocol", "sent", "delivered", "rate",
+		"mean latency", "retries", "failovers", "failbacks", "implicit acks", "steps to recover")
+	for _, sc := range ChaosScenarios(seed) {
+		r, err := RunChaosScenario(sc, engine, false)
+		if err != nil {
+			return nil, err
+		}
+		tbl.AddRow(r.Scenario, r.Family, r.Protocol, r.Sent, r.Delivered, r.Rate(),
+			r.MeanLatency, r.Retries, r.Failovers, r.Failbacks, r.ImplicitAcks, r.StepsToRecover)
+	}
+	return tbl, nil
+}
+
+// Chaos is the sweep-registry entry: the full scenario table at seed 1
+// under the automatic engine.
+func Chaos() (*render.Table, error) { return ChaosTable(1, waggle.EngineAuto) }

@@ -50,6 +50,8 @@ func Run(name string) (*render.Table, error) {
 		return AblationAmplitude()
 	case "ablation-activation":
 		return AblationActivation()
+	case "chaos":
+		return Chaos()
 	default:
 		return nil, fmt.Errorf("sweep: unknown experiment %q (try: %v)", name, Names())
 	}
@@ -61,6 +63,7 @@ func Names() []string {
 		"levels", "slices", "drift", "silence", "backup", "latency", "msgsize",
 		"throughput", "resolution", "onetoall", "visibility",
 		"ablation-stepdivisor", "ablation-amplitude", "ablation-activation",
+		"chaos",
 	}
 }
 
@@ -263,7 +266,9 @@ func Backup() (*render.Table, error) {
 			return nil, err
 		}
 		radio := waggle.NewRadio(s.N(), 42)
-		radio.SetJamming(p)
+		if err := radio.SetJamming(p); err != nil {
+			return nil, err
+		}
 		bm, err := waggle.NewBackupMessenger(radio, s)
 		if err != nil {
 			return nil, err

@@ -66,6 +66,9 @@ type options struct {
 	starveDelay      int
 	activationProb   float64
 	engine           EngineMode
+	stabilizeEpoch   int
+	faultPlan        *FaultPlan
+	faultRadio       *Radio
 }
 
 func defaultOptions() options {

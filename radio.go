@@ -24,8 +24,12 @@ func NewRadio(n int, seed int64) *Radio {
 }
 
 // SetJamming sets the probability that any single transmission is lost
-// to interference.
-func (r *Radio) SetJamming(p float64) { r.inner.JamProb = p }
+// to interference. NaN and values outside [0,1] are rejected instead of
+// silently behaving as always-lose or never-lose.
+func (r *Radio) SetJamming(p float64) error { return r.inner.SetJamming(p) }
+
+// JamProb returns the current jamming probability.
+func (r *Radio) JamProb() float64 { return r.inner.JamProb }
 
 // Break permanently disables robot i's transmitter. Out-of-range
 // indices are reported as an error, matching Send.
@@ -58,9 +62,40 @@ func (r *Radio) Receive(i int) []Message {
 // Stats returns (sent, delivered, lost) counters.
 func (r *Radio) Stats() (sent, delivered, lost int) { return r.inner.Stats() }
 
+// Channel identifies which substrate a messenger sender's traffic
+// currently uses (see BackupMessenger.Health).
+type Channel = core.Channel
+
+// Channels of a BackupMessenger.
+const (
+	// ChannelRadio is the healthy state: traffic goes over the wireless
+	// device.
+	ChannelRadio = core.ChannelRadio
+	// ChannelMovement is the failed-over state: traffic rides the
+	// movement channel until a radio probe succeeds.
+	ChannelMovement = core.ChannelMovement
+)
+
+// MessengerPolicy configures the self-healing behaviour of a
+// BackupMessenger (see SetPolicy).
+type MessengerPolicy = core.MessengerPolicy
+
+// MessengerStats are the messenger's full counters (see
+// BackupMessenger.DetailedStats).
+type MessengerStats = core.MessengerStats
+
+// DefaultMessengerPolicy returns the self-healing defaults: three
+// retries with doubling backoff from two instants, a 64-instant
+// deadline, and a radio probe every 16 instants while failed over.
+func DefaultMessengerPolicy() MessengerPolicy { return core.DefaultMessengerPolicy() }
+
 // BackupMessenger sends over the radio when it works and falls back to
 // movement signalling when it does not — the paper's fault-tolerance
-// application.
+// application. With a policy set (SetPolicy) it is self-healing: failed
+// radio sends are retried with backoff, fail over to the movement
+// channel on exhaustion or deadline, are confirmed by the implicit
+// acknowledgement of Lemma 4.1 (the delivery decoded from observed
+// motion), and fail back to the radio once a probe succeeds.
 type BackupMessenger struct {
 	inner *core.BackupMessenger
 	swarm *Swarm
@@ -85,8 +120,40 @@ func (b *BackupMessenger) Send(from, to int, payload []byte) error {
 	return b.inner.Send(from, to, payload)
 }
 
+// SetPolicy enables self-healing with the given policy. Call it before
+// any traffic.
+func (b *BackupMessenger) SetPolicy(p MessengerPolicy) error { return b.inner.SetPolicy(p) }
+
+// Tick runs one instant of self-healing bookkeeping (due retries,
+// deadline failovers, implicit-acknowledgement detection). Call once
+// per simulation step when driving the swarm directly; Step and
+// RunUntilSettled do it for you.
+func (b *BackupMessenger) Tick() error { return b.inner.Tick() }
+
+// Step advances the swarm one instant and ticks the messenger.
+func (b *BackupMessenger) Step() error { return b.inner.Step() }
+
+// Settled reports whether nothing is outstanding: no pending retries,
+// no unacknowledged failovers, and an idle movement channel.
+func (b *BackupMessenger) Settled() bool { return b.inner.Settled() }
+
+// RunUntilSettled steps the swarm (ticking per instant) until the
+// messenger is settled or the budget runs out, returning the number of
+// instants executed.
+func (b *BackupMessenger) RunUntilSettled(maxSteps int) (int, error) {
+	return b.inner.RunUntilSettled(maxSteps)
+}
+
+// Health returns the channel robot i's traffic currently uses.
+func (b *BackupMessenger) Health(i int) Channel { return b.inner.Health(i) }
+
 // Swarm returns the movement channel.
 func (b *BackupMessenger) Swarm() *Swarm { return b.swarm }
 
 // Stats returns how many messages went over each channel.
 func (b *BackupMessenger) Stats() (viaRadio, viaMovement int) { return b.inner.Stats() }
+
+// DetailedStats returns the full counter set: per-channel deliveries,
+// retries, failovers, failbacks, deadline expiries, implicit
+// acknowledgements, and current queue depths.
+func (b *BackupMessenger) DetailedStats() MessengerStats { return b.inner.DetailedStats() }

@@ -30,6 +30,7 @@ import (
 	"io"
 
 	"waggle/internal/core"
+	"waggle/internal/fault"
 	"waggle/internal/geom"
 	"waggle/internal/protocol"
 	"waggle/internal/sim"
@@ -157,6 +158,24 @@ func NewSwarm(positions []Point, opts ...Option) (*Swarm, error) {
 	})
 	if err != nil {
 		return nil, fmt.Errorf("waggle: %w", err)
+	}
+	if o.faultPlan != nil {
+		plan, err := buildFaultPlan(*o.faultPlan, len(pts))
+		if err != nil {
+			return nil, err
+		}
+		inj, err := fault.NewInjector(plan, len(pts), o.seed)
+		if err != nil {
+			return nil, fmt.Errorf("waggle: %w", err)
+		}
+		var rc fault.RadioControl
+		if o.faultRadio != nil {
+			rc = o.faultRadio.inner
+		}
+		if err := inj.AttachRadio(rc); err != nil {
+			return nil, fmt.Errorf("waggle: %w (pass the radio with WithFaultRadio)", err)
+		}
+		world.SetInjector(inj)
 	}
 	net, err := core.NewNetwork(world, buildScheduler(o), endpoints)
 	if err != nil {
@@ -315,6 +334,20 @@ func validateOptions(o options, n int) error {
 	if o.sigma <= 0 {
 		return fmt.Errorf("waggle: sigma %v must be positive", o.sigma)
 	}
+	if o.stabilizeEpoch != 0 {
+		if o.stabilizeEpoch < 0 {
+			return fmt.Errorf("waggle: stabilization epoch %d must be positive", o.stabilizeEpoch)
+		}
+		if !o.synchronous {
+			return errors.New("waggle: WithStabilization requires WithSynchronous (§5's sketch assumes a global clock)")
+		}
+		if o.protocol != ProtoAuto && o.protocol != ProtoSyncN {
+			return fmt.Errorf("waggle: WithStabilization conflicts with WithProtocol(%v)", o.protocol)
+		}
+		if o.levels != 0 {
+			return errors.New("waggle: WithStabilization does not compose with WithLevels")
+		}
+	}
 	if o.engine < EngineAuto || o.engine > EngineParallel {
 		return fmt.Errorf("waggle: unknown engine mode %d", o.engine)
 	}
@@ -327,6 +360,11 @@ func pickProtocol(o options, n int) Protocol {
 	}
 	if o.boundedSlices > 0 {
 		return ProtoAsyncBounded
+	}
+	if o.stabilizeEpoch > 0 {
+		// Stabilization is built on the n-robot synchronous protocol,
+		// even for two robots.
+		return ProtoSyncN
 	}
 	switch {
 	case n == 2 && o.synchronous:
@@ -375,11 +413,15 @@ func buildProtocol(proto Protocol, o options, pts []geom.Point, sigmaLocal []flo
 			SigmaLocal: [2]float64{sigmaLocal[0], sigmaLocal[1]},
 		})
 	case ProtoSyncN:
-		return protocol.NewSyncN(n, protocol.SyncNConfig{
+		cfg := protocol.SyncNConfig{
 			Naming:     naming(o),
 			Levels:     o.levels,
 			SigmaLocal: sigmaLocal,
-		})
+		}
+		if o.stabilizeEpoch > 0 {
+			return protocol.NewStabilizingSyncN(n, o.stabilizeEpoch, cfg)
+		}
+		return protocol.NewSyncN(n, cfg)
 	case ProtoAsyncN:
 		return protocol.NewAsyncN(n, protocol.AsyncNConfig{Naming: naming(o), SigmaLocal: sigmaLocal})
 	case ProtoAsyncBounded:
