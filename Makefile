@@ -4,9 +4,9 @@
 
 GO ?= go
 
-.PHONY: verify build vet test race bench bench-json bench-check chaos-check
+.PHONY: verify build vet test race bench bench-json bench-check chaos-check obs-check vulncheck
 
-verify: build vet race chaos-check
+verify: build vet race chaos-check obs-check vulncheck
 
 build:
 	$(GO) build ./...
@@ -48,3 +48,18 @@ chaos-check:
 	$(GO) run ./cmd/waggle-chaos -scenario move-error-sync
 	$(GO) run ./cmd/waggle-chaos -scenario radio-outage
 	$(GO) run ./cmd/waggle-chaos -scenario combined -engine parallel
+
+# Observability smoke: run a short instrumented sim, validate that the
+# Prometheus text exposition parses and the JSON snapshot round-trips
+# byte-for-byte (DESIGN.md §5d).
+obs-check:
+	$(GO) run ./cmd/waggle-sim -obs-check
+
+# Known-vulnerability scan, skipped gracefully when govulncheck is not
+# installed or its database is unreachable (offline CI).
+vulncheck:
+	@if command -v govulncheck >/dev/null 2>&1; then \
+		govulncheck ./... || echo "vulncheck: scan failed (offline?); skipping"; \
+	else \
+		echo "vulncheck: govulncheck not installed; skipping"; \
+	fi

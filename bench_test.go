@@ -298,3 +298,51 @@ func BenchmarkStepParallel(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkStepObserver measures the instrumentation tax: per-instant
+// simulator cost with no observer (the default — every site is a nil
+// check), with an attached observer, and with an attached observer
+// whose trace ring is tiny (constant eviction). The ISSUE bound is
+// disabled ≤ 2% over the uninstrumented baseline; EXPERIMENTS.md
+// records the measured table.
+func BenchmarkStepObserver(b *testing.B) {
+	for _, n := range []int{64, 256} {
+		for _, engine := range []struct {
+			name string
+			opt  Option
+		}{
+			{"sequential", WithEngine(EngineSequential)},
+			{"parallel", WithEngine(EngineParallel)},
+		} {
+			for _, obsv := range []struct {
+				name string
+				o    *Observer
+			}{
+				{"disabled", nil},
+				{"enabled", NewObserver()},
+				{"enabled-tiny-ring", NewObserverWithCapacity(64)},
+			} {
+				b.Run(fmt.Sprintf("n=%d/%s/%s", n, engine.name, obsv.name), func(b *testing.B) {
+					opts := []Option{WithSynchronous(), WithSeed(1), engine.opt}
+					if obsv.o != nil {
+						opts = append(opts, WithObserver(obsv.o))
+					}
+					s, err := NewSwarm(benchPositions(n, 1), opts...)
+					if err != nil {
+						b.Fatal(err)
+					}
+					if err := s.Step(); err != nil {
+						b.Fatal(err)
+					}
+					b.ReportAllocs()
+					b.ResetTimer()
+					for i := 0; i < b.N; i++ {
+						if err := s.Step(); err != nil {
+							b.Fatal(err)
+						}
+					}
+				})
+			}
+		}
+	}
+}

@@ -12,68 +12,129 @@
 //	waggle-chaos -scenario jam-ramp  # one scenario
 //	waggle-chaos -seed 7 -csv        # reseeded, machine-readable
 //	waggle-chaos -engine parallel    # force the parallel step engine
+//	waggle-chaos -o report.json      # schema-stable JSON with obs rollups
+//	waggle-chaos -listen :8080       # serve /metrics, /trace, pprof
 //	waggle-chaos -list               # scenario names
 package main
 
 import (
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
 	"os"
+	"os/signal"
 
 	"waggle"
-	"waggle/internal/render"
 	"waggle/internal/sweep"
 )
 
+// config carries the parsed flags; tests drive run with it directly.
+type config struct {
+	scenario string
+	seed     int64
+	csv      bool
+	engine   string
+	list     bool
+	out      string // -o: JSON report path ("-" = stdout)
+	listen   string // -listen: introspection endpoint address
+	block    bool   // keep serving after the run until interrupted
+}
+
 func main() {
-	scenario := flag.String("scenario", "", "scenario name (empty = all); see -list")
-	seed := flag.Int64("seed", 1, "seed for schedulers, frames, fault draws and jamming")
-	csv := flag.Bool("csv", false, "emit CSV instead of an aligned table")
-	engine := flag.String("engine", "auto", "step engine: auto|sequential|parallel")
-	list := flag.Bool("list", false, "list scenario names and exit")
+	var cfg config
+	flag.StringVar(&cfg.scenario, "scenario", "", "scenario name (empty = all); see -list")
+	flag.Int64Var(&cfg.seed, "seed", 1, "seed for schedulers, frames, fault draws and jamming")
+	flag.BoolVar(&cfg.csv, "csv", false, "emit CSV instead of an aligned table")
+	flag.StringVar(&cfg.engine, "engine", "auto", "step engine: auto|sequential|parallel")
+	flag.BoolVar(&cfg.list, "list", false, "list scenario names and exit")
+	flag.StringVar(&cfg.out, "o", "", "write the schema-stable JSON report to this file (- = stdout)")
+	flag.StringVar(&cfg.listen, "listen", "", "serve the observability endpoint (/metrics, /trace, pprof) on this address")
 	flag.Parse()
-	if err := run(*scenario, *seed, *csv, *engine, *list); err != nil {
+	cfg.block = cfg.listen != ""
+	if err := run(cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "waggle-chaos:", err)
 		os.Exit(1)
 	}
 }
 
-func run(scenario string, seed int64, csv bool, engineName string, list bool) error {
-	if list {
-		for _, sc := range sweep.ChaosScenarios(seed) {
+func run(cfg config) error {
+	if cfg.list {
+		for _, sc := range sweep.ChaosScenarios(cfg.seed) {
 			fmt.Printf("%-16s %s\n", sc.Name, sc.Family)
 		}
 		return nil
 	}
-	engine, err := parseEngine(engineName)
+	engine, err := parseEngine(cfg.engine)
 	if err != nil {
 		return err
 	}
-	var tbl *render.Table
-	if scenario == "" {
-		if tbl, err = sweep.ChaosTable(seed, engine); err != nil {
+	if cfg.scenario != "" {
+		if _, err := sweep.FindChaosScenario(cfg.scenario, cfg.seed); err != nil {
 			return err
 		}
-	} else {
-		sc, err := findScenario(scenario, seed)
-		if err != nil {
-			return err
-		}
-		r, err := sweep.RunChaosScenario(sc, engine, false)
-		if err != nil {
-			return err
-		}
-		tbl = render.NewTable("scenario", "family", "protocol", "sent", "delivered", "rate",
-			"mean latency", "retries", "failovers", "failbacks", "implicit acks", "steps to recover")
-		tbl.AddRow(r.Scenario, r.Family, r.Protocol, r.Sent, r.Delivered, r.Rate(),
-			r.MeanLatency, r.Retries, r.Failovers, r.Failbacks, r.ImplicitAcks, r.StepsToRecover)
 	}
-	if csv {
+	var obsv *waggle.Observer
+	var stop func()
+	if cfg.listen != "" {
+		obsv = waggle.NewObserver()
+		if stop, err = serveIntrospection(cfg.listen, obsv); err != nil {
+			return err
+		}
+		defer stop()
+	}
+	report, err := sweep.ChaosReportFor(cfg.scenario, cfg.seed, engine, obsv)
+	if err != nil {
+		return err
+	}
+	tbl := sweep.ChaosResultTable(report.Results)
+	if cfg.csv {
 		fmt.Print(tbl.CSV())
 	} else {
 		fmt.Print(tbl.String())
 	}
+	if cfg.out != "" {
+		if err := writeReport(cfg.out, report); err != nil {
+			return err
+		}
+	}
+	if cfg.block {
+		fmt.Println("serving observability endpoint; interrupt to exit")
+		waitForInterrupt()
+	}
 	return nil
+}
+
+func writeReport(path string, report *sweep.ChaosReport) error {
+	if path == "-" {
+		return report.WriteJSON(os.Stdout)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return report.WriteJSON(f)
+}
+
+// serveIntrospection starts the observability endpoint in the
+// background, returning the closer. The resolved address is printed so
+// ":0" is usable in scripts and tests.
+func serveIntrospection(addr string, o *waggle.Observer) (func(), error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	srv := &http.Server{Handler: o.Handler()}
+	go func() { _ = srv.Serve(ln) }()
+	fmt.Printf("observability endpoint: http://%s/metrics\n", ln.Addr())
+	return func() { _ = srv.Close() }, nil
+}
+
+func waitForInterrupt() {
+	ch := make(chan os.Signal, 1)
+	signal.Notify(ch, os.Interrupt)
+	<-ch
 }
 
 func parseEngine(name string) (waggle.EngineMode, error) {
@@ -87,18 +148,4 @@ func parseEngine(name string) (waggle.EngineMode, error) {
 	default:
 		return 0, fmt.Errorf("unknown engine %q (auto|sequential|parallel)", name)
 	}
-}
-
-func findScenario(name string, seed int64) (sweep.ChaosScenario, error) {
-	all := sweep.ChaosScenarios(seed)
-	for _, sc := range all {
-		if sc.Name == name {
-			return sc, nil
-		}
-	}
-	names := make([]string, len(all))
-	for i, sc := range all {
-		names[i] = sc.Name
-	}
-	return sweep.ChaosScenario{}, fmt.Errorf("unknown scenario %q (try: %v)", name, names)
 }

@@ -6,98 +6,140 @@
 //	waggle-sim -n 2 -sync -msg HELLO
 //	waggle-sim -n 12 -from 9 -to 3 -msg FIG2 -seed 7
 //	waggle-sim -n 6 -scheduler starver -msg X
+//	waggle-sim -n 4 -sync -listen :8080   # serve /metrics, /trace, pprof
+//	waggle-sim -obs-check                 # validate the obs pipeline
 package main
 
 import (
+	"bytes"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"math/rand"
+	"net"
+	"net/http"
 	"os"
+	"os/signal"
 
 	"waggle"
 	"waggle/internal/figures"
+	"waggle/internal/obs"
 )
 
+// config carries the parsed flags; tests drive run with it directly.
+type config struct {
+	n         int
+	sync      bool
+	ids       bool
+	compass   bool
+	seed      int64
+	from, to  int
+	msg       string
+	levels    int
+	bounded   int
+	scheduler string
+	budget    int
+	quiet     bool
+	tracePath string
+	listen    string // -listen: observability endpoint address
+	block     bool   // keep serving after the run until interrupted
+	obsCheck  bool   // -obs-check: validate the obs pipeline and exit
+}
+
 func main() {
-	var (
-		n         = flag.Int("n", 2, "number of robots (>= 2)")
-		sync      = flag.Bool("sync", false, "synchronous setting (§3); default asynchronous (§4)")
-		ids       = flag.Bool("ids", false, "robots carry observable IDs (§3.2)")
-		compass   = flag.Bool("compass", false, "robots share a sense of direction (§3.3)")
-		seed      = flag.Int64("seed", 1, "randomness seed (placement, frames, scheduler)")
-		from      = flag.Int("from", 0, "sender index")
-		to        = flag.Int("to", 1, "recipient index")
-		msg       = flag.String("msg", "HELLO", "message payload")
-		levels    = flag.Int("levels", 0, "amplitude levels for 2-robot sync coding (power of two)")
-		bounded   = flag.Int("bounded", 0, "bounded-slice base k (>= 2) for the §5 variant")
-		scheduler = flag.String("scheduler", "random", "asynchronous scheduler: random|roundrobin|starver")
-		budget    = flag.Int("budget", 5_000_000, "maximum time instants")
-		quiet     = flag.Bool("q", false, "print only the delivery line")
-		tracePath = flag.String("trace", "", "write the full execution trace as CSV to this file")
-	)
+	var cfg config
+	flag.IntVar(&cfg.n, "n", 2, "number of robots (>= 2)")
+	flag.BoolVar(&cfg.sync, "sync", false, "synchronous setting (§3); default asynchronous (§4)")
+	flag.BoolVar(&cfg.ids, "ids", false, "robots carry observable IDs (§3.2)")
+	flag.BoolVar(&cfg.compass, "compass", false, "robots share a sense of direction (§3.3)")
+	flag.Int64Var(&cfg.seed, "seed", 1, "randomness seed (placement, frames, scheduler)")
+	flag.IntVar(&cfg.from, "from", 0, "sender index")
+	flag.IntVar(&cfg.to, "to", 1, "recipient index")
+	flag.StringVar(&cfg.msg, "msg", "HELLO", "message payload")
+	flag.IntVar(&cfg.levels, "levels", 0, "amplitude levels for 2-robot sync coding (power of two)")
+	flag.IntVar(&cfg.bounded, "bounded", 0, "bounded-slice base k (>= 2) for the §5 variant")
+	flag.StringVar(&cfg.scheduler, "scheduler", "random", "asynchronous scheduler: random|roundrobin|starver")
+	flag.IntVar(&cfg.budget, "budget", 5_000_000, "maximum time instants")
+	flag.BoolVar(&cfg.quiet, "q", false, "print only the delivery line")
+	flag.StringVar(&cfg.tracePath, "trace", "", "write the full execution trace as CSV to this file")
+	flag.StringVar(&cfg.listen, "listen", "", "serve the observability endpoint (/metrics, /trace, pprof) on this address")
+	flag.BoolVar(&cfg.obsCheck, "obs-check", false, "run a short instrumented sim, validate the metrics pipeline, and exit")
 	flag.Parse()
-	if err := run(*n, *sync, *ids, *compass, *seed, *from, *to, *msg, *levels, *bounded, *scheduler, *budget, *quiet, *tracePath); err != nil {
+	cfg.block = cfg.listen != ""
+	if err := run(cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "waggle-sim:", err)
 		os.Exit(1)
 	}
 }
 
-func run(n int, sync, ids, compass bool, seed int64, from, to int, msg string,
-	levels, bounded int, scheduler string, budget int, quiet bool, tracePath string) error {
-	rng := rand.New(rand.NewSource(seed))
-	raw := figures.RandomConfiguration(rng, n, float64(n)*12, 8)
-	positions := make([]waggle.Point, n)
+func run(cfg config) error {
+	if cfg.obsCheck {
+		return obsCheck()
+	}
+	rng := rand.New(rand.NewSource(cfg.seed))
+	raw := figures.RandomConfiguration(rng, cfg.n, float64(cfg.n)*12, 8)
+	positions := make([]waggle.Point, cfg.n)
 	for i, p := range raw {
 		positions[i] = waggle.Point{X: p.X, Y: p.Y}
 	}
 
-	opts := []waggle.Option{waggle.WithSeed(seed), waggle.WithTrace()}
-	if sync {
+	opts := []waggle.Option{waggle.WithSeed(cfg.seed), waggle.WithTrace()}
+	if cfg.sync {
 		opts = append(opts, waggle.WithSynchronous())
 	}
-	if ids {
+	if cfg.ids {
 		opts = append(opts, waggle.WithIdentifiedRobots())
 	}
-	if compass {
+	if cfg.compass {
 		opts = append(opts, waggle.WithSenseOfDirection())
 	}
-	if levels > 0 {
-		opts = append(opts, waggle.WithLevels(levels))
+	if cfg.levels > 0 {
+		opts = append(opts, waggle.WithLevels(cfg.levels))
 	}
-	if bounded > 0 {
-		opts = append(opts, waggle.WithBoundedSlices(bounded))
+	if cfg.bounded > 0 {
+		opts = append(opts, waggle.WithBoundedSlices(cfg.bounded))
 	}
-	switch scheduler {
+	switch cfg.scheduler {
 	case "roundrobin":
 		opts = append(opts, waggle.WithScheduler(waggle.SchedulerRoundRobin))
 	case "starver":
-		opts = append(opts, waggle.WithStarver(to, 8))
+		opts = append(opts, waggle.WithStarver(cfg.to, 8))
 	case "random", "":
 	default:
-		return fmt.Errorf("unknown scheduler %q", scheduler)
+		return fmt.Errorf("unknown scheduler %q", cfg.scheduler)
+	}
+	var obsv *waggle.Observer
+	if cfg.listen != "" {
+		obsv = waggle.NewObserver()
+		opts = append(opts, waggle.WithObserver(obsv))
+		stop, err := serveIntrospection(cfg.listen, obsv)
+		if err != nil {
+			return err
+		}
+		defer stop()
 	}
 
 	swarm, err := waggle.NewSwarm(positions, opts...)
 	if err != nil {
 		return err
 	}
-	if !quiet {
-		fmt.Printf("swarm: n=%d protocol=%v scheduler=%s seed=%d\n", n, swarm.Protocol(), scheduler, seed)
+	if !cfg.quiet {
+		fmt.Printf("swarm: n=%d protocol=%v scheduler=%s seed=%d\n", cfg.n, swarm.Protocol(), cfg.scheduler, cfg.seed)
 	}
-	if err := swarm.Send(from, to, []byte(msg)); err != nil {
+	if err := swarm.Send(cfg.from, cfg.to, []byte(cfg.msg)); err != nil {
 		return err
 	}
-	msgs, steps, err := swarm.RunUntilDelivered(1, budget)
+	msgs, steps, err := swarm.RunUntilDelivered(1, cfg.budget)
 	if err != nil {
 		return err
 	}
 	fmt.Printf("robot %d -> robot %d in %d instants: %q\n", msgs[0].From, msgs[0].To, steps, msgs[0].Payload)
-	if !quiet {
+	if !cfg.quiet {
 		fmt.Printf("sender excursions: %d; sender distance: %.2f; min pairwise distance: %.3f\n",
-			swarm.SentBits(from), swarm.TotalDistance(from), swarm.MinPairwiseDistance())
+			swarm.SentBits(cfg.from), swarm.TotalDistance(cfg.from), swarm.MinPairwiseDistance())
 	}
-	if tracePath != "" {
-		f, err := os.Create(tracePath)
+	if cfg.tracePath != "" {
+		f, err := os.Create(cfg.tracePath)
 		if err != nil {
 			return err
 		}
@@ -105,9 +147,85 @@ func run(n int, sync, ids, compass bool, seed int64, from, to int, msg string,
 		if err := swarm.WriteTraceCSV(f); err != nil {
 			return err
 		}
-		if !quiet {
-			fmt.Printf("trace written to %s\n", tracePath)
+		if !cfg.quiet {
+			fmt.Printf("trace written to %s\n", cfg.tracePath)
 		}
 	}
+	if cfg.block {
+		fmt.Println("serving observability endpoint; interrupt to exit")
+		waitForInterrupt()
+	}
 	return nil
+}
+
+// obsCheck is `make obs-check`: run a short instrumented sim, then
+// validate that the Prometheus exposition parses and the JSON snapshot
+// round-trips byte-for-byte — the end-to-end health check of the obs
+// pipeline, with no external dependencies.
+func obsCheck() error {
+	obsv := waggle.NewObserver()
+	s, err := waggle.NewSwarm(
+		[]waggle.Point{{X: 0, Y: 0}, {X: 10, Y: 0}, {X: 0, Y: 12}, {X: 11, Y: 11}},
+		waggle.WithSynchronous(), waggle.WithSeed(1), waggle.WithObserver(obsv),
+	)
+	if err != nil {
+		return err
+	}
+	if err := s.Send(0, 2, []byte("OBS")); err != nil {
+		return err
+	}
+	if _, _, err := s.RunUntilDelivered(1, 200_000); err != nil {
+		return err
+	}
+
+	var exposition bytes.Buffer
+	if err := obsv.WriteMetrics(&exposition); err != nil {
+		return err
+	}
+	samples, err := obs.ValidateExposition(exposition.String())
+	if err != nil {
+		return fmt.Errorf("obs-check: invalid Prometheus exposition: %w", err)
+	}
+
+	var snap bytes.Buffer
+	if err := obsv.WriteSnapshot(&snap, true); err != nil {
+		return err
+	}
+	var back waggle.MetricsSnapshot
+	if err := json.Unmarshal(snap.Bytes(), &back); err != nil {
+		return fmt.Errorf("obs-check: snapshot does not parse: %w", err)
+	}
+	var again bytes.Buffer
+	if err := back.WriteJSON(&again); err != nil {
+		return err
+	}
+	if !bytes.Equal(snap.Bytes(), again.Bytes()) {
+		return fmt.Errorf("obs-check: snapshot does not round-trip")
+	}
+	if v, ok := back.CounterValue("waggle_sim_steps_total"); !ok || v == 0 {
+		return fmt.Errorf("obs-check: step counter missing or zero after a delivered run")
+	}
+	fmt.Printf("obs-check ok: %d samples, %d trace events, snapshot round-trips\n",
+		samples, len(back.Trace))
+	return nil
+}
+
+// serveIntrospection starts the observability endpoint in the
+// background, returning the closer. The resolved address is printed so
+// ":0" is usable in scripts and tests.
+func serveIntrospection(addr string, o *waggle.Observer) (func(), error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	srv := &http.Server{Handler: o.Handler()}
+	go func() { _ = srv.Serve(ln) }()
+	fmt.Printf("observability endpoint: http://%s/metrics\n", ln.Addr())
+	return func() { _ = srv.Close() }, nil
+}
+
+func waitForInterrupt() {
+	ch := make(chan os.Signal, 1)
+	signal.Notify(ch, os.Interrupt)
+	<-ch
 }

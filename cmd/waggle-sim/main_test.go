@@ -10,27 +10,17 @@ import (
 func TestRunScenarios(t *testing.T) {
 	tests := []struct {
 		name string
-		f    func() error
+		cfg  config
 	}{
-		{"two sync", func() error {
-			return run(2, true, false, false, 1, 0, 1, "HI", 0, 0, "random", 100_000, true, "")
-		}},
-		{"n async sec", func() error {
-			return run(5, false, false, false, 2, 0, 3, "X", 0, 0, "random", 5_000_000, true, "")
-		}},
-		{"ids round robin", func() error {
-			return run(4, false, true, false, 3, 1, 2, "Y", 0, 0, "roundrobin", 5_000_000, false, "")
-		}},
-		{"bounded starver", func() error {
-			return run(4, false, false, true, 4, 0, 2, "Z", 0, 2, "starver", 10_000_000, true, "")
-		}},
-		{"levels", func() error {
-			return run(2, true, false, false, 5, 0, 1, "L", 16, 0, "random", 100_000, true, "")
-		}},
+		{"two sync", config{n: 2, sync: true, seed: 1, from: 0, to: 1, msg: "HI", scheduler: "random", budget: 100_000, quiet: true}},
+		{"n async sec", config{n: 5, seed: 2, from: 0, to: 3, msg: "X", scheduler: "random", budget: 5_000_000, quiet: true}},
+		{"ids round robin", config{n: 4, ids: true, seed: 3, from: 1, to: 2, msg: "Y", scheduler: "roundrobin", budget: 5_000_000}},
+		{"bounded starver", config{n: 4, compass: true, seed: 4, from: 0, to: 2, msg: "Z", bounded: 2, scheduler: "starver", budget: 10_000_000, quiet: true}},
+		{"levels", config{n: 2, sync: true, seed: 5, from: 0, to: 1, msg: "L", levels: 16, scheduler: "random", budget: 100_000, quiet: true}},
 	}
 	for _, tt := range tests {
 		t.Run(tt.name, func(t *testing.T) {
-			if err := tt.f(); err != nil {
+			if err := run(tt.cfg); err != nil {
 				t.Error(err)
 			}
 		})
@@ -39,7 +29,8 @@ func TestRunScenarios(t *testing.T) {
 
 func TestRunWithTrace(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "trace.csv")
-	if err := run(2, true, false, false, 1, 0, 1, "T", 0, 0, "random", 100_000, true, path); err != nil {
+	cfg := config{n: 2, sync: true, seed: 1, from: 0, to: 1, msg: "T", scheduler: "random", budget: 100_000, quiet: true, tracePath: path}
+	if err := run(cfg); err != nil {
 		t.Fatal(err)
 	}
 	data, err := os.ReadFile(path)
@@ -52,7 +43,23 @@ func TestRunWithTrace(t *testing.T) {
 }
 
 func TestRunBadScheduler(t *testing.T) {
-	if err := run(2, true, false, false, 1, 0, 1, "HI", 0, 0, "bogus", 1000, true, ""); err == nil {
+	cfg := config{n: 2, sync: true, seed: 1, from: 0, to: 1, msg: "HI", scheduler: "bogus", budget: 1000, quiet: true}
+	if err := run(cfg); err == nil {
 		t.Error("bad scheduler accepted")
+	}
+}
+
+func TestRunWithListen(t *testing.T) {
+	// Non-blocking -listen: endpoint comes up, the run completes, the
+	// server is torn down by the deferred closer.
+	cfg := config{n: 2, sync: true, seed: 1, from: 0, to: 1, msg: "M", scheduler: "random", budget: 100_000, quiet: true, listen: "127.0.0.1:0"}
+	if err := run(cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestObsCheck(t *testing.T) {
+	if err := run(config{obsCheck: true}); err != nil {
+		t.Error(err)
 	}
 }

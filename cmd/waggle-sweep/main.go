@@ -11,6 +11,7 @@
 //	waggle-sweep                 # all experiments, GOMAXPROCS-way parallel
 //	waggle-sweep -exp levels     # one experiment
 //	waggle-sweep -exp drift -csv # machine-readable output
+//	waggle-sweep -o sweep.json   # schema-stable JSON for CI diffing
 //	waggle-sweep -workers 1      # serial execution
 package main
 
@@ -26,14 +27,15 @@ func main() {
 	exp := flag.String("exp", "", "experiment name (empty = all): levels|slices|drift|silence|backup|latency|msgsize|...")
 	csv := flag.Bool("csv", false, "emit CSV instead of an aligned table")
 	workers := flag.Int("workers", 0, "concurrent experiments (0 = GOMAXPROCS)")
+	out := flag.String("o", "", "write the schema-stable JSON report to this file (- = stdout)")
 	flag.Parse()
-	if err := run(*exp, *csv, *workers); err != nil {
+	if err := run(*exp, *csv, *workers, *out); err != nil {
 		fmt.Fprintln(os.Stderr, "waggle-sweep:", err)
 		os.Exit(1)
 	}
 }
 
-func run(exp string, csv bool, workers int) error {
+func run(exp string, csv bool, workers int, out string) error {
 	names := sweep.Names()
 	if exp != "" {
 		names = []string{exp}
@@ -51,5 +53,26 @@ func run(exp string, csv bool, workers int) error {
 		}
 		fmt.Println()
 	}
+	if out != "" {
+		report := sweep.NewSweepReport()
+		for _, r := range results {
+			report.Add(r.Name, r.Table)
+		}
+		if err := writeReport(out, report); err != nil {
+			return err
+		}
+	}
 	return nil
+}
+
+func writeReport(path string, report *sweep.SweepReport) error {
+	if path == "-" {
+		return report.WriteJSON(os.Stdout)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return report.WriteJSON(f)
 }

@@ -1,18 +1,49 @@
 package main
 
-import "testing"
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"waggle/internal/sweep"
+)
 
 func TestRunOneExperiment(t *testing.T) {
-	if err := run("silence", false, 1); err != nil {
+	if err := run("silence", false, 1, ""); err != nil {
 		t.Error(err)
 	}
-	if err := run("levels", true, 0); err != nil {
+	if err := run("levels", true, 0, ""); err != nil {
 		t.Error(err)
 	}
 }
 
 func TestRunUnknownExperiment(t *testing.T) {
-	if err := run("nope", false, 1); err == nil {
+	if err := run("nope", false, 1, ""); err == nil {
 		t.Error("unknown experiment accepted")
+	}
+}
+
+func TestRunJSONReport(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "sweep.json")
+	if err := run("silence", false, 1, path); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var report sweep.SweepReport
+	if err := json.Unmarshal(data, &report); err != nil {
+		t.Fatal(err)
+	}
+	if report.Schema != sweep.SweepReportSchema {
+		t.Errorf("schema = %q, want %q", report.Schema, sweep.SweepReportSchema)
+	}
+	if len(report.Experiments) != 1 || report.Experiments[0].Name != "silence" {
+		t.Fatalf("experiments = %+v", report.Experiments)
+	}
+	if len(report.Experiments[0].Rows) == 0 || len(report.Experiments[0].Header) == 0 {
+		t.Error("experiment table empty in report")
 	}
 }

@@ -4,6 +4,8 @@ import (
 	"bytes"
 	"errors"
 	"fmt"
+
+	"waggle/internal/obs"
 )
 
 // Channel identifies which substrate a sender's traffic currently uses.
@@ -123,6 +125,10 @@ type BackupMessenger struct {
 
 	stats MessengerStats
 
+	// obs mirrors the stats counters into the observability registry and
+	// records channel-health trace events. Nil means disabled.
+	obs *obs.Observer
+
 	// Self-healing state; selfHeal false means the legacy
 	// fall-back-once behaviour.
 	selfHeal  bool
@@ -143,7 +149,34 @@ func NewBackupMessenger(radio *Radio, net *Network) (*BackupMessenger, error) {
 	if radio.n != net.World().N() {
 		return nil, fmt.Errorf("core: radio for %d robots, network for %d", radio.n, net.World().N())
 	}
-	return &BackupMessenger{radio: radio, net: net}, nil
+	b := &BackupMessenger{radio: radio, net: net}
+	// Inherit the network's observer so a swarm instrumented before the
+	// messenger exists needs no extra wiring.
+	if o := net.Observer(); o != nil {
+		b.SetObserver(o)
+	}
+	return b, nil
+}
+
+// SetObserver attaches (or, with nil, detaches) the observability hook,
+// propagating it to the radio when the radio has none of its own.
+func (b *BackupMessenger) SetObserver(o *obs.Observer) {
+	b.obs = o
+	if o != nil && b.radio.Observer() == nil {
+		b.radio.SetObserver(o)
+	}
+}
+
+// Observer returns the attached observer, or nil.
+func (b *BackupMessenger) Observer() *obs.Observer { return b.obs }
+
+// observeQueues refreshes the queue-depth gauges; callers invoke it at
+// the end of any operation that can grow or drain the queues.
+func (b *BackupMessenger) observeQueues() {
+	if o := b.obs; o != nil {
+		o.Msgr.PendingRetries.Set(float64(len(b.pending)))
+		o.Msgr.AwaitingAck.Set(float64(len(b.watches)))
+	}
 }
 
 // SetPolicy enables self-healing with the given policy. Call it before
@@ -175,7 +208,7 @@ func (b *BackupMessenger) Send(from, to int, payload []byte) error {
 	if !b.selfHeal {
 		err := b.radio.Send(from, to, payload)
 		if err == nil {
-			b.stats.ViaRadio++
+			b.viaRadio()
 			return nil
 		}
 		if !errors.Is(err, ErrRadioFailed) {
@@ -184,7 +217,7 @@ func (b *BackupMessenger) Send(from, to int, payload []byte) error {
 		if qErr := b.net.Send(from, to, payload); qErr != nil {
 			return qErr
 		}
-		b.stats.ViaMovement++
+		b.viaMovement()
 		return nil
 	}
 	// Validate the endpoints up front so retry attempts can only fail
@@ -198,9 +231,13 @@ func (b *BackupMessenger) Send(from, to int, payload []byte) error {
 			// Probe the radio with this real message (an attempted
 			// failback).
 			if err := b.radio.Send(from, to, payload); err == nil {
-				b.stats.ViaRadio++
+				b.viaRadio()
 				b.mode[from] = ChannelRadio
 				b.stats.Failbacks++
+				if o := b.obs; o != nil {
+					o.Msgr.Failbacks.Inc()
+					o.Record(obs.Event{T: now, Kind: obs.EvFailback, Robot: from, Peer: to})
+				}
 				return nil
 			}
 			b.probeAt[from] = now + b.policy.ProbeEvery
@@ -208,7 +245,7 @@ func (b *BackupMessenger) Send(from, to int, payload []byte) error {
 		return b.divert(from, to, payload, now)
 	}
 	if err := b.radio.Send(from, to, payload); err == nil {
-		b.stats.ViaRadio++
+		b.viaRadio()
 		return nil
 	}
 	if b.policy.MaxRetries == 0 {
@@ -220,7 +257,24 @@ func (b *BackupMessenger) Send(from, to int, payload []byte) error {
 		submitted: now,
 		nextTry:   now + b.policy.Backoff,
 	})
+	b.observeQueues()
 	return nil
+}
+
+// viaRadio and viaMovement bump the per-channel delivery counters in
+// both the legacy stats struct and the registry.
+func (b *BackupMessenger) viaRadio() {
+	b.stats.ViaRadio++
+	if o := b.obs; o != nil {
+		o.Msgr.ViaRadio.Inc()
+	}
+}
+
+func (b *BackupMessenger) viaMovement() {
+	b.stats.ViaMovement++
+	if o := b.obs; o != nil {
+		o.Msgr.ViaMovement.Inc()
+	}
 }
 
 // divert routes a message over the movement channel, switching the
@@ -230,13 +284,18 @@ func (b *BackupMessenger) divert(from, to int, payload []byte, now int) error {
 	if err := b.net.Send(from, to, payload); err != nil {
 		return err
 	}
-	b.stats.ViaMovement++
+	b.viaMovement()
 	if b.mode[from] == ChannelRadio {
 		b.mode[from] = ChannelMovement
 		b.stats.Failovers++
+		if o := b.obs; o != nil {
+			o.Msgr.Failovers.Inc()
+			o.Record(obs.Event{T: now, Kind: obs.EvFailover, Robot: from, Peer: to})
+		}
 		b.probeAt[from] = now + b.policy.ProbeEvery
 	}
 	b.watches = append(b.watches, ackWatch{from: from, to: to, payload: append([]byte(nil), payload...)})
+	b.observeQueues()
 	return nil
 }
 
@@ -256,8 +315,12 @@ func (b *BackupMessenger) Tick() error {
 			continue
 		}
 		b.stats.Retries++
+		if o := b.obs; o != nil {
+			o.Msgr.Retries.Inc()
+			o.Record(obs.Event{T: now, Kind: obs.EvRetry, Robot: m.from, Peer: m.to})
+		}
 		if err := b.radio.Send(m.from, m.to, m.payload); err == nil {
-			b.stats.ViaRadio++
+			b.viaRadio()
 			continue
 		}
 		m.attempts++
@@ -265,6 +328,10 @@ func (b *BackupMessenger) Tick() error {
 		if m.attempts >= b.policy.MaxRetries || expired {
 			if expired {
 				b.stats.Expired++
+				if o := b.obs; o != nil {
+					o.Msgr.Expired.Inc()
+					o.Record(obs.Event{T: now, Kind: obs.EvExpired, Robot: m.from, Peer: m.to})
+				}
 			}
 			if err := b.divert(m.from, m.to, m.payload, now); err != nil {
 				return err
@@ -285,10 +352,15 @@ func (b *BackupMessenger) Tick() error {
 			if wtc.from == d.From && wtc.to == d.To && bytes.Equal(wtc.payload, d.Payload) {
 				b.watches = append(b.watches[:k], b.watches[k+1:]...)
 				b.stats.ImplicitAcks++
+				if o := b.obs; o != nil {
+					o.Msgr.ImplicitAcks.Inc()
+					o.Record(obs.Event{T: now, Kind: obs.EvImplicitAck, Robot: wtc.from, Peer: wtc.to})
+				}
 				break
 			}
 		}
 	}
+	b.observeQueues()
 	return nil
 }
 

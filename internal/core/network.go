@@ -8,6 +8,7 @@ import (
 	"errors"
 	"fmt"
 
+	"waggle/internal/obs"
 	"waggle/internal/protocol"
 	"waggle/internal/sim"
 )
@@ -32,6 +33,10 @@ type Network struct {
 	// would strand the surplus: the next call's window used to start at
 	// len(delivered), silently skipping them.
 	consumed int
+
+	// obs is the optional observability hook: send/delivery counters
+	// and trace events. Nil means disabled.
+	obs *obs.Observer
 }
 
 // NewNetwork assembles a network. The endpoints must be the ones
@@ -52,6 +57,15 @@ func NewNetwork(world *sim.World, scheduler sim.Scheduler, endpoints []*protocol
 // World exposes the underlying simulation.
 func (n *Network) World() *sim.World { return n.world }
 
+// SetObserver attaches (or, with nil, detaches) the observability hook
+// for the network's own counters. The world's hook is attached
+// separately (sim.World.SetObserver); waggle.NewSwarm wires both to the
+// same observer.
+func (n *Network) SetObserver(o *obs.Observer) { n.obs = o }
+
+// Observer returns the attached observer, or nil.
+func (n *Network) Observer() *obs.Observer { return n.obs }
+
 // Endpoint returns robot i's endpoint.
 func (n *Network) Endpoint(i int) *protocol.Endpoint { return n.endpoints[i] }
 
@@ -60,7 +74,14 @@ func (n *Network) Send(from, to int, payload []byte) error {
 	if from < 0 || from >= len(n.endpoints) {
 		return fmt.Errorf("core: sender %d out of range", from)
 	}
-	return n.endpoints[from].Send(to, payload)
+	if err := n.endpoints[from].Send(to, payload); err != nil {
+		return err
+	}
+	if o := n.obs; o != nil {
+		o.Net.Sends.Inc()
+		o.Record(obs.Event{T: n.world.Time(), Kind: obs.EvSend, Robot: from, Peer: to, Val: float64(len(payload))})
+	}
+	return nil
 }
 
 // Broadcast queues a message from one robot to every other robot as
@@ -69,7 +90,18 @@ func (n *Network) Broadcast(from int, payload []byte) error {
 	if from < 0 || from >= len(n.endpoints) {
 		return fmt.Errorf("core: sender %d out of range", from)
 	}
-	return n.endpoints[from].Broadcast(payload)
+	if err := n.endpoints[from].Broadcast(payload); err != nil {
+		return err
+	}
+	if o := n.obs; o != nil {
+		o.Net.Sends.Add(int64(len(n.endpoints) - 1))
+		for to := range n.endpoints {
+			if to != from {
+				o.Record(obs.Event{T: n.world.Time(), Kind: obs.EvSend, Robot: from, Peer: to, Val: float64(len(payload))})
+			}
+		}
+	}
+	return nil
 }
 
 // SendAll queues one single-transmission broadcast (§1's efficient
@@ -78,7 +110,16 @@ func (n *Network) SendAll(from int, payload []byte) error {
 	if from < 0 || from >= len(n.endpoints) {
 		return fmt.Errorf("core: sender %d out of range", from)
 	}
-	return n.endpoints[from].SendAll(payload)
+	if err := n.endpoints[from].SendAll(payload); err != nil {
+		return err
+	}
+	if o := n.obs; o != nil {
+		// One transmission regardless of swarm size: count it once;
+		// Peer -1 marks the all-recipients address.
+		o.Net.Sends.Inc()
+		o.Record(obs.Event{T: n.world.Time(), Kind: obs.EvSend, Robot: from, Peer: -1, Val: float64(len(payload))})
+	}
+	return nil
 }
 
 // Step advances the simulation one instant and collects any deliveries.
@@ -176,6 +217,13 @@ func (n *Network) allIdle() bool {
 
 func (n *Network) collect() {
 	for _, e := range n.endpoints {
-		n.delivered = append(n.delivered, e.Receive()...)
+		recs := e.Receive()
+		if o := n.obs; o != nil && len(recs) > 0 {
+			o.Net.Deliveries.Add(int64(len(recs)))
+			for _, r := range recs {
+				o.Record(obs.Event{T: n.world.Time(), Kind: obs.EvDeliver, Robot: r.To, Peer: r.From, Val: float64(len(r.Payload))})
+			}
+		}
+		n.delivered = append(n.delivered, recs...)
 	}
 }

@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+
+	"waggle/internal/obs"
 )
 
 // ErrRadioFailed is returned when a transmission is lost and the sender
@@ -36,6 +38,11 @@ type Radio struct {
 	sent      int
 	lost      int
 	delivered int
+
+	// obs is the optional observability hook. The radio has no notion
+	// of simulated time, so it feeds counters only, never trace events;
+	// the messenger (which knows the instant) records the events.
+	obs *obs.Observer
 }
 
 // NewRadio creates a radio network for n robots with the given fault
@@ -79,20 +86,45 @@ func (r *Radio) Broken(i int) bool {
 	return r.broken[i]
 }
 
+// SetObserver attaches (or, with nil, detaches) the observability hook.
+func (r *Radio) SetObserver(o *obs.Observer) { r.obs = o }
+
+// Observer returns the attached observer, or nil.
+func (r *Radio) Observer() *obs.Observer { return r.obs }
+
 // Send transmits a message, returning ErrRadioFailed when it is lost
-// (broken transmitter or jamming).
+// (broken transmitter or jamming). The broken-transmitter check must
+// stay ahead of the jam draw: a broken sender consumes no randomness,
+// and reordering would shift every later draw and change seeded
+// executions.
 func (r *Radio) Send(from, to int, payload []byte) error {
 	if from < 0 || from >= r.n || to < 0 || to >= r.n {
 		return fmt.Errorf("core: radio endpoints %d->%d out of range", from, to)
 	}
 	r.sent++
-	if r.broken[from] || (r.JamProb > 0 && r.rng.Float64() < r.JamProb) {
+	if o := r.obs; o != nil {
+		o.Radio.Sends.Inc()
+	}
+	if r.broken[from] {
 		r.lost++
+		if o := r.obs; o != nil {
+			o.Radio.BrokenDrops.Inc()
+		}
+		return ErrRadioFailed
+	}
+	if r.JamProb > 0 && r.rng.Float64() < r.JamProb {
+		r.lost++
+		if o := r.obs; o != nil {
+			o.Radio.JamDrops.Inc()
+		}
 		return ErrRadioFailed
 	}
 	msg := RadioMessage{From: from, To: to, Payload: append([]byte(nil), payload...)}
 	r.inboxes[to] = append(r.inboxes[to], msg)
 	r.delivered++
+	if o := r.obs; o != nil {
+		o.Radio.Delivered.Inc()
+	}
 	return nil
 }
 

@@ -1,0 +1,93 @@
+package core
+
+import (
+	"math"
+	"testing"
+)
+
+// TestRadioJamDeliveryRateConverges is the property test for
+// Radio.JamProb/SetJamming: over many transmissions at jamming
+// probability p, the delivery rate converges to 1-p. Seeds are fixed,
+// so the observed rates are exact reproducible numbers; the tolerance
+// covers the binomial deviation (> 5 sigma at trials=20000), not
+// run-to-run noise.
+func TestRadioJamDeliveryRateConverges(t *testing.T) {
+	const trials = 20_000
+	for _, p := range []float64{0, 0.25, 0.5, 0.75, 1} {
+		for _, seed := range []int64{1, 42, 977} {
+			r := NewRadio(2, seed)
+			if err := r.SetJamming(p); err != nil {
+				t.Fatal(err)
+			}
+			delivered := 0
+			for i := 0; i < trials; i++ {
+				if err := r.Send(0, 1, []byte{byte(i)}); err == nil {
+					delivered++
+				}
+				// Drain so inboxes do not grow unboundedly.
+				r.Receive(1)
+			}
+			rate := float64(delivered) / trials
+			want := 1 - p
+			// 5 sigma of a binomial proportion at the worst case p=0.5,
+			// plus a floor for the deterministic edges.
+			tol := 5*math.Sqrt(0.25/trials) + 1e-9
+			if math.Abs(rate-want) > tol {
+				t.Errorf("p=%v seed=%d: delivery rate %v, want %v ± %v", p, seed, rate, want, tol)
+			}
+			// The counters must agree with the observed outcomes.
+			sent, del, lost := r.Stats()
+			if sent != trials || del != delivered || lost != trials-delivered {
+				t.Errorf("p=%v seed=%d: stats (%d,%d,%d) inconsistent with %d/%d delivered",
+					p, seed, sent, del, lost, delivered, trials)
+			}
+		}
+	}
+}
+
+// TestRadioJamExactEdges pins the deterministic edges: p=0 never
+// drops, p=1 always drops, and a broken transmitter drops without
+// consuming a jamming draw (the rng-order invariant golden executions
+// rely on).
+func TestRadioJamExactEdges(t *testing.T) {
+	r := NewRadio(2, 7)
+	if err := r.Send(0, 1, []byte("x")); err != nil {
+		t.Errorf("p=0 dropped: %v", err)
+	}
+	if err := r.SetJamming(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Send(0, 1, []byte("x")); err == nil {
+		t.Error("p=1 delivered")
+	}
+
+	// Two radios, same seed, same jamming. One sender breaks for a
+	// while: its drops must not advance the jam rng, so after repair the
+	// two streams are still in lockstep.
+	a, b := NewRadio(2, 9), NewRadio(2, 9)
+	for _, r := range []*Radio{a, b} {
+		if err := r.SetJamming(0.5); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := a.Break(0); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		if err := a.Send(0, 1, []byte("y")); err == nil {
+			t.Fatal("broken transmitter delivered")
+		}
+	}
+	if err := a.Repair(0); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 1000; i++ {
+		errA := a.Send(0, 1, []byte("z"))
+		errB := b.Send(0, 1, []byte("z"))
+		if (errA == nil) != (errB == nil) {
+			t.Fatalf("send %d: jam rng streams diverged after broken-sender window", i)
+		}
+		a.Receive(1)
+		b.Receive(1)
+	}
+}

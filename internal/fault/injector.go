@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"waggle/internal/geom"
+	"waggle/internal/obs"
 	"waggle/internal/sim"
 )
 
@@ -42,6 +43,11 @@ type Injector struct {
 	// Each robot owns exactly one mask, so concurrent PerturbView calls
 	// never share one.
 	dropMask [][]bool
+
+	// obs is the optional observability hook. PerturbView runs
+	// concurrently under the parallel engine, so its sites touch only
+	// atomic counters and the mutex-guarded trace ring.
+	obs *obs.Observer
 }
 
 var _ sim.Injector = (*Injector)(nil)
@@ -83,6 +89,12 @@ func (inj *Injector) AttachRadio(r RadioControl) error {
 // Plan returns the compiled plan.
 func (inj *Injector) Plan() Plan { return inj.plan }
 
+// SetObserver attaches (or, with nil, detaches) the observability hook.
+func (inj *Injector) SetObserver(o *obs.Observer) { inj.obs = o }
+
+// Observer returns the attached observer, or nil.
+func (inj *Injector) Observer() *obs.Observer { return inj.obs }
+
 // Crashed reports whether robot i is crash-stopped at instant t.
 func (inj *Injector) Crashed(t, i int) bool {
 	for _, e := range inj.plan.Events {
@@ -108,6 +120,10 @@ func (inj *Injector) BeginStep(t int, w *sim.World) {
 					// Teleport validates the index; plan validation
 					// already guaranteed it.
 					_ = w.Teleport(i, w.Position(i).Add(e.Delta))
+					if o := inj.obs; o != nil {
+						o.Fault.Displacements.Inc()
+						o.Record(obs.Event{T: t, Kind: obs.EvDisplace, Robot: i, Peer: -1, Val: e.Delta.Len()})
+					}
 				}, e)
 			}
 		case Crash:
@@ -141,28 +157,51 @@ func (inj *Injector) BeginStep(t int, w *sim.World) {
 		}
 		if want && !inj.prevOutage[i] {
 			_ = inj.radio.Break(i)
+			if o := inj.obs; o != nil {
+				o.Fault.Outages.Inc()
+				o.Record(obs.Event{T: t, Kind: obs.EvOutageStart, Robot: i, Peer: -1})
+			}
 		}
 		if !want && inj.prevOutage[i] {
 			_ = inj.radio.Repair(i)
+			if o := inj.obs; o != nil {
+				o.Record(obs.Event{T: t, Kind: obs.EvOutageEnd, Robot: i, Peer: -1})
+			}
 		}
 		inj.prevOutage[i] = want
 	}
 	if jamActive {
-		_ = inj.radio.SetJamming(clamp01(jam))
+		p := clamp01(jam)
+		_ = inj.radio.SetJamming(p)
 		inj.prevJam = true
+		if o := inj.obs; o != nil {
+			o.Fault.JamSets.Inc()
+			o.Record(obs.Event{T: t, Kind: obs.EvJam, Robot: -1, Peer: -1, Val: p})
+		}
 	} else if inj.prevJam {
 		_ = inj.radio.SetJamming(0)
 		inj.prevJam = false
+		if o := inj.obs; o != nil {
+			o.Fault.JamSets.Inc()
+			o.Record(obs.Event{T: t, Kind: obs.EvJam, Robot: -1, Peer: -1, Val: 0})
+		}
 	}
 }
 
 // FilterActive implements sim.Injector: crash-stopped robots drop out
-// of the activation set in place, preserving order.
+// of the activation set in place, preserving order. The crash counter
+// and events therefore count suppressed activations, one per crashed
+// robot per step it would have been activated.
 func (inj *Injector) FilterActive(t int, active []int) []int {
 	out := active[:0]
 	for _, i := range active {
 		if !inj.crashed[i] {
 			out = append(out, i)
+			continue
+		}
+		if o := inj.obs; o != nil {
+			o.Fault.Crashes.Inc()
+			o.Record(obs.Event{T: t, Kind: obs.EvCrash, Robot: i, Peer: -1})
 		}
 	}
 	return out
@@ -183,6 +222,7 @@ func (inj *Injector) PerturbView(t, observer int, frame geom.Frame, view sim.Vie
 			if e.Mag == 0 {
 				continue
 			}
+			noised := 0
 			for j := range view.Points {
 				if j == view.Self || !visibleIn(view, j) {
 					continue
@@ -190,6 +230,14 @@ func (inj *Injector) PerturbView(t, observer int, frame geom.Frame, view sim.Vie
 				gx, gy := gauss2(key(inj.seed, t, observer, j, idx))
 				noise := frame.VecToLocal(geom.V(gx*e.Mag, gy*e.Mag))
 				view.Points[j] = view.Points[j].Add(noise)
+				noised++
+			}
+			if o := inj.obs; o != nil && noised > 0 {
+				// One event per noised view, not per point — per-point
+				// events would flood the ring at n² per instant. The
+				// counter still counts points.
+				o.Fault.Noise.Add(int64(noised))
+				o.Record(obs.Event{T: t, Kind: obs.EvNoise, Robot: observer, Peer: -1, Val: e.Mag})
 			}
 		case DropSight:
 			if e.Mag == 0 {
@@ -212,6 +260,10 @@ func (inj *Injector) PerturbView(t, observer int, frame geom.Frame, view sim.Vie
 					// observer's own position.
 					view.Visible[j] = false
 					view.Points[j] = view.Points[view.Self]
+					if o := inj.obs; o != nil {
+						o.Fault.DropSights.Inc()
+						o.Record(obs.Event{T: t, Kind: obs.EvDropSight, Robot: observer, Peer: j})
+					}
 				}
 			}
 		}
@@ -227,6 +279,10 @@ func (inj *Injector) PerturbMove(t, robot int, from, dest geom.Point) geom.Point
 		}
 		f := e.Min + unit(key(inj.seed, t, robot, robot, idx))*(e.Max-e.Min)
 		dest = from.Add(dest.Sub(from).Scale(f))
+		if o := inj.obs; o != nil {
+			o.Fault.MoveErrors.Inc()
+			o.Record(obs.Event{T: t, Kind: obs.EvMoveError, Robot: robot, Peer: -1, Val: f})
+		}
 	}
 	return dest
 }

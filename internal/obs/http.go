@@ -1,0 +1,61 @@
+package obs
+
+import (
+	"net/http"
+	"net/http/pprof"
+)
+
+// Handler serves an observer's live state:
+//
+//	/metrics       Prometheus text exposition (scrape target)
+//	/metrics.json  JSON snapshot of every metric (no trace)
+//	/trace         normalized trace events as JSON
+//	/snapshot      full JSON snapshot, trace included
+//	/debug/pprof/  the standard Go profiling endpoints
+//	/              plain-text index of the above
+//
+// All reads are lock-free or briefly locked (the trace ring), so
+// scraping a live run never blocks the simulation for long. The
+// handler is safe to serve while the observed swarm is stepping.
+func Handler(o *Observer) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = o.Registry().WriteMetrics(w)
+	})
+	mux.HandleFunc("/metrics.json", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = o.Snapshot(false).WriteJSON(w)
+	})
+	mux.HandleFunc("/trace", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		s := Snapshot{Schema: SnapshotSchema, Trace: o.TraceEvents()}
+		if s.Trace == nil {
+			s.Trace = []Event{}
+		}
+		_ = s.WriteJSON(w)
+	})
+	mux.HandleFunc("/snapshot", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = o.Snapshot(true).WriteJSON(w)
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			http.NotFound(w, r)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		_, _ = w.Write([]byte("waggle introspection\n\n" +
+			"/metrics       Prometheus text exposition\n" +
+			"/metrics.json  JSON metric snapshot\n" +
+			"/trace         normalized trace events (JSON)\n" +
+			"/snapshot      full snapshot, trace included\n" +
+			"/debug/pprof/  Go profiling endpoints\n"))
+	})
+	return mux
+}

@@ -1,0 +1,175 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// WriteMetrics writes the registry in the Prometheus text exposition
+// format (version 0.0.4), metrics sorted by name. A nil registry
+// writes nothing.
+func (r *Registry) WriteMetrics(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	bw := bufio.NewWriter(w)
+	cs, gs, hs := r.sorted()
+	for _, c := range cs {
+		fmt.Fprintf(bw, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", c.name, c.help, c.name, c.name, c.Value())
+	}
+	for _, g := range gs {
+		fmt.Fprintf(bw, "# HELP %s %s\n# TYPE %s gauge\n%s %s\n", g.name, g.help, g.name, g.name, formatFloat(g.Value()))
+	}
+	for _, h := range hs {
+		fmt.Fprintf(bw, "# HELP %s %s\n# TYPE %s histogram\n", h.name, h.help, h.name)
+		cum := int64(0)
+		for i, b := range h.bounds {
+			cum += h.counts[i].Load()
+			fmt.Fprintf(bw, "%s_bucket{le=%q} %d\n", h.name, formatFloat(b), cum)
+		}
+		cum += h.counts[len(h.bounds)].Load()
+		fmt.Fprintf(bw, "%s_bucket{le=\"+Inf\"} %d\n", h.name, cum)
+		fmt.Fprintf(bw, "%s_sum %s\n%s_count %d\n", h.name, formatFloat(h.Sum()), h.name, h.Count())
+	}
+	return bw.Flush()
+}
+
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// ValidateExposition checks that data is a well-formed Prometheus text
+// exposition: every sample line parses as `name[{labels}] value`, every
+// TYPE is known, every sample belongs to an announced family, histogram
+// bucket counts are monotone in le, and each histogram carries _sum and
+// _count. It returns the number of sample lines. It is the checker
+// behind `make obs-check` and the endpoint tests — deliberately strict
+// on what this package emits rather than a full scrape parser.
+func ValidateExposition(data string) (samples int, err error) {
+	types := map[string]string{} // family -> counter|gauge|histogram
+	type histState struct {
+		lastLE  float64
+		lastCum int64
+		buckets int
+		sum     bool
+		count   bool
+	}
+	hists := map[string]*histState{}
+	for ln, line := range strings.Split(data, "\n") {
+		lineNo := ln + 1
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			fields := strings.Fields(line)
+			if len(fields) < 3 || (fields[1] != "HELP" && fields[1] != "TYPE") {
+				return samples, fmt.Errorf("obs: line %d: malformed comment %q", lineNo, line)
+			}
+			if fields[1] == "TYPE" {
+				if len(fields) != 4 {
+					return samples, fmt.Errorf("obs: line %d: malformed TYPE %q", lineNo, line)
+				}
+				name, typ := fields[2], fields[3]
+				switch typ {
+				case "counter", "gauge", "histogram":
+				default:
+					return samples, fmt.Errorf("obs: line %d: unknown type %q", lineNo, typ)
+				}
+				if _, dup := types[name]; dup {
+					return samples, fmt.Errorf("obs: line %d: duplicate TYPE for %q", lineNo, name)
+				}
+				types[name] = typ
+				if typ == "histogram" {
+					hists[name] = &histState{}
+				}
+			}
+			continue
+		}
+		// Sample line: name[{labels}] value
+		rest := line
+		brace := strings.IndexByte(rest, '{')
+		var name, labels string
+		if brace >= 0 {
+			close := strings.IndexByte(rest, '}')
+			if close < brace {
+				return samples, fmt.Errorf("obs: line %d: malformed labels %q", lineNo, line)
+			}
+			name, labels, rest = rest[:brace], rest[brace+1:close], strings.TrimSpace(rest[close+1:])
+		} else {
+			fields := strings.Fields(rest)
+			if len(fields) != 2 {
+				return samples, fmt.Errorf("obs: line %d: malformed sample %q", lineNo, line)
+			}
+			name, rest = fields[0], fields[1]
+		}
+		if !metricName.MatchString(name) {
+			return samples, fmt.Errorf("obs: line %d: invalid metric name %q", lineNo, name)
+		}
+		value, perr := strconv.ParseFloat(strings.TrimSpace(rest), 64)
+		if perr != nil {
+			return samples, fmt.Errorf("obs: line %d: unparseable value in %q: %v", lineNo, line, perr)
+		}
+		family := name
+		suffix := ""
+		for _, s := range []string{"_bucket", "_sum", "_count"} {
+			if strings.HasSuffix(name, s) {
+				if _, ok := types[strings.TrimSuffix(name, s)]; ok {
+					family, suffix = strings.TrimSuffix(name, s), s
+					break
+				}
+			}
+		}
+		typ, ok := types[family]
+		if !ok {
+			return samples, fmt.Errorf("obs: line %d: sample %q has no TYPE announcement", lineNo, name)
+		}
+		if typ == "histogram" {
+			hs := hists[family]
+			switch suffix {
+			case "_bucket":
+				le := strings.TrimPrefix(labels, "le=")
+				le = strings.Trim(le, `"`)
+				bound, berr := parseLE(le)
+				if berr != nil {
+					return samples, fmt.Errorf("obs: line %d: %v", lineNo, berr)
+				}
+				cum := int64(value)
+				if hs.buckets > 0 && (bound <= hs.lastLE || cum < hs.lastCum) {
+					return samples, fmt.Errorf("obs: line %d: non-monotone histogram %q", lineNo, family)
+				}
+				hs.lastLE, hs.lastCum = bound, cum
+				hs.buckets++
+			case "_sum":
+				hs.sum = true
+			case "_count":
+				hs.count = true
+			default:
+				return samples, fmt.Errorf("obs: line %d: bare sample %q for histogram family", lineNo, name)
+			}
+		} else if suffix != "" {
+			return samples, fmt.Errorf("obs: line %d: suffix sample %q for %s family", lineNo, name, typ)
+		}
+		samples++
+	}
+	for name, hs := range hists {
+		if hs.buckets == 0 || !hs.sum || !hs.count {
+			return samples, fmt.Errorf("obs: histogram %q missing buckets, _sum or _count", name)
+		}
+	}
+	return samples, nil
+}
+
+func parseLE(s string) (float64, error) {
+	if s == "+Inf" {
+		return math.Inf(1), nil
+	}
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return 0, fmt.Errorf("unparseable le %q", s)
+	}
+	return v, nil
+}

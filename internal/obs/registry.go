@@ -1,0 +1,203 @@
+// Package obs is the simulator's observability subsystem: an
+// allocation-conscious metrics registry (atomic counters, gauges and
+// fixed-bucket histograms, no external dependencies), a bounded
+// structured trace recorder (trace.go), text/JSON exposition writers
+// (prom.go, snapshot.go) and an opt-in net/http introspection endpoint
+// (http.go).
+//
+// Instrumentation sites across sim, core, fault and sweep hold a plain
+// `*obs.Observer` pointer and guard every record with a single nil
+// check — a disabled observer costs one predictable branch per site and
+// allocates nothing (see the root BenchmarkStepObserver).
+//
+// Determinism: every metric that counts simulated events (sends,
+// retries, activations, fault firings, ...) is a pure function of the
+// seeded execution, so identical seeds produce identical values under
+// both the sequential and the parallel step engine — atomic counters
+// commute, and histogram sums here add small exact integers. Metrics
+// derived from wall-clock time (step latency) are registered as
+// *volatile* and excluded from DeterministicSnapshot, the form the
+// engine-parity tests compare.
+package obs
+
+import (
+	"fmt"
+	"math"
+	"regexp"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// metricName is the Prometheus metric-name grammar.
+var metricName = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
+
+// Counter is a monotonically increasing atomic counter.
+type Counter struct {
+	name, help string
+	v          atomic.Int64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds d (negative deltas are a programming error and are dropped:
+// counters are monotone by contract).
+func (c *Counter) Add(d int64) {
+	if d > 0 {
+		c.v.Add(d)
+	}
+}
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Name returns the metric name.
+func (c *Counter) Name() string { return c.name }
+
+// Gauge is an atomic instantaneous value.
+type Gauge struct {
+	name, help string
+	bits       atomic.Uint64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// Name returns the metric name.
+func (g *Gauge) Name() string { return g.name }
+
+// Histogram is a fixed-bucket cumulative histogram. Buckets are chosen
+// at registration and never change, so Observe is two atomic adds plus
+// a CAS loop for the floating-point sum — no allocation, safe under
+// concurrent workers.
+type Histogram struct {
+	name, help string
+	// volatile marks wall-clock-derived histograms, excluded from
+	// DeterministicSnapshot (their content is timing, not execution).
+	volatile bool
+	// bounds are the inclusive bucket upper bounds, ascending; an
+	// implicit +Inf bucket follows the last bound.
+	bounds  []float64
+	counts  []atomic.Int64 // len(bounds)+1
+	count   atomic.Int64
+	sumBits atomic.Uint64
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) {
+	// Buckets are few (tens); linear scan beats binary search on such
+	// short, cache-resident slices.
+	k := len(h.bounds)
+	for i, b := range h.bounds {
+		if v <= b {
+			k = i
+			break
+		}
+	}
+	h.counts[k].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		nw := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sumBits.CompareAndSwap(old, nw) {
+			return
+		}
+	}
+}
+
+// Name returns the metric name.
+func (h *Histogram) Name() string { return h.name }
+
+// Count returns the total number of samples.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Sum returns the sum of all samples.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sumBits.Load()) }
+
+// Volatile reports whether the histogram holds wall-clock-derived data.
+func (h *Histogram) Volatile() bool { return h.volatile }
+
+// Registry holds a fixed set of metrics. Registration happens once at
+// observer construction; reads and writes after that are lock-free.
+type Registry struct {
+	mu         sync.Mutex
+	names      map[string]struct{}
+	counters   []*Counter
+	gauges     []*Gauge
+	histograms []*Histogram
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{names: map[string]struct{}{}}
+}
+
+func (r *Registry) claim(name string) {
+	if !metricName.MatchString(name) {
+		panic(fmt.Sprintf("obs: invalid metric name %q", name))
+	}
+	if _, dup := r.names[name]; dup {
+		panic(fmt.Sprintf("obs: duplicate metric %q", name))
+	}
+	r.names[name] = struct{}{}
+}
+
+// Counter registers and returns a counter. Duplicate or invalid names
+// panic: registration is wiring code, not input handling.
+func (r *Registry) Counter(name, help string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.claim(name)
+	c := &Counter{name: name, help: help}
+	r.counters = append(r.counters, c)
+	return c
+}
+
+// Gauge registers and returns a gauge.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.claim(name)
+	g := &Gauge{name: name, help: help}
+	r.gauges = append(r.gauges, g)
+	return g
+}
+
+// Histogram registers a histogram with the given ascending bucket upper
+// bounds (an implicit +Inf bucket is appended). volatile marks
+// wall-clock-derived histograms, excluded from DeterministicSnapshot.
+func (r *Registry) Histogram(name, help string, bounds []float64, volatile bool) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.claim(name)
+	for i := 1; i < len(bounds); i++ {
+		if !(bounds[i] > bounds[i-1]) {
+			panic(fmt.Sprintf("obs: histogram %q bounds not ascending at %d", name, i))
+		}
+	}
+	h := &Histogram{
+		name: name, help: help, volatile: volatile,
+		bounds: append([]float64(nil), bounds...),
+		counts: make([]atomic.Int64, len(bounds)+1),
+	}
+	r.histograms = append(r.histograms, h)
+	return h
+}
+
+// sorted returns the metric slices ordered by name (stable exposition
+// order for both writers).
+func (r *Registry) sorted() ([]*Counter, []*Gauge, []*Histogram) {
+	r.mu.Lock()
+	cs := append([]*Counter(nil), r.counters...)
+	gs := append([]*Gauge(nil), r.gauges...)
+	hs := append([]*Histogram(nil), r.histograms...)
+	r.mu.Unlock()
+	sort.Slice(cs, func(i, j int) bool { return cs[i].name < cs[j].name })
+	sort.Slice(gs, func(i, j int) bool { return gs[i].name < gs[j].name })
+	sort.Slice(hs, func(i, j int) bool { return hs[i].name < hs[j].name })
+	return cs, gs, hs
+}

@@ -1,0 +1,135 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// SnapshotSchema names the JSON snapshot's schema version; bump it on
+// any incompatible field change so CI diffs fail loudly instead of
+// silently comparing different shapes.
+const SnapshotSchema = "waggle-obs/v1"
+
+// CounterSnapshot is one counter's value at snapshot time.
+type CounterSnapshot struct {
+	Name  string `json:"name"`
+	Value int64  `json:"value"`
+}
+
+// GaugeSnapshot is one gauge's value at snapshot time.
+type GaugeSnapshot struct {
+	Name  string  `json:"name"`
+	Value float64 `json:"value"`
+}
+
+// HistogramSnapshot is one histogram's full state at snapshot time.
+// Counts are per-bucket (not cumulative); the last entry is the +Inf
+// bucket.
+type HistogramSnapshot struct {
+	Name     string    `json:"name"`
+	Volatile bool      `json:"volatile,omitempty"`
+	Bounds   []float64 `json:"bounds"`
+	Counts   []int64   `json:"counts"`
+	Sum      float64   `json:"sum"`
+	Count    int64     `json:"count"`
+}
+
+// Snapshot is a point-in-time copy of a registry (and optionally the
+// trace ring), ordered by metric name — the schema-stable JSON form.
+type Snapshot struct {
+	Schema     string              `json:"schema"`
+	Counters   []CounterSnapshot   `json:"counters"`
+	Gauges     []GaugeSnapshot     `json:"gauges"`
+	Histograms []HistogramSnapshot `json:"histograms"`
+	Trace      []Event             `json:"trace,omitempty"`
+}
+
+// Snapshot copies every metric. A nil registry yields an empty (but
+// schema-tagged) snapshot.
+func (r *Registry) Snapshot() Snapshot { return r.snapshot(true) }
+
+// DeterministicSnapshot copies every metric except the volatile
+// (wall-clock-derived) histograms: the form that is identical for
+// identical seeds under every engine mode, compared by the parity
+// tests.
+func (r *Registry) DeterministicSnapshot() Snapshot { return r.snapshot(false) }
+
+func (r *Registry) snapshot(includeVolatile bool) Snapshot {
+	s := Snapshot{
+		Schema:     SnapshotSchema,
+		Counters:   []CounterSnapshot{},
+		Gauges:     []GaugeSnapshot{},
+		Histograms: []HistogramSnapshot{},
+	}
+	if r == nil {
+		return s
+	}
+	cs, gs, hs := r.sorted()
+	for _, c := range cs {
+		s.Counters = append(s.Counters, CounterSnapshot{Name: c.name, Value: c.Value()})
+	}
+	for _, g := range gs {
+		s.Gauges = append(s.Gauges, GaugeSnapshot{Name: g.name, Value: g.Value()})
+	}
+	for _, h := range hs {
+		if h.volatile && !includeVolatile {
+			continue
+		}
+		hist := HistogramSnapshot{
+			Name:     h.name,
+			Volatile: h.volatile,
+			Bounds:   append([]float64(nil), h.bounds...),
+			Counts:   make([]int64, len(h.counts)),
+			Sum:      h.Sum(),
+			Count:    h.Count(),
+		}
+		for i := range h.counts {
+			hist.Counts[i] = h.counts[i].Load()
+		}
+		s.Histograms = append(s.Histograms, hist)
+	}
+	return s
+}
+
+// Snapshot returns the observer's full snapshot, trace included when
+// withTrace is set. A nil observer yields an empty snapshot.
+func (o *Observer) Snapshot(withTrace bool) Snapshot {
+	if o == nil {
+		return (*Registry)(nil).Snapshot()
+	}
+	s := o.reg.Snapshot()
+	if withTrace {
+		s.Trace = o.TraceEvents()
+	}
+	return s
+}
+
+// DeterministicSnapshot returns the engine-independent snapshot: no
+// volatile metrics, trace included.
+func (o *Observer) DeterministicSnapshot() Snapshot {
+	if o == nil {
+		return (*Registry)(nil).Snapshot()
+	}
+	s := o.reg.DeterministicSnapshot()
+	s.Trace = o.TraceEvents()
+	return s
+}
+
+// WriteJSON writes the snapshot as indented JSON.
+func (s Snapshot) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
+}
+
+// CounterValue returns the named counter's value in the snapshot (0,
+// false when absent) — the rollup helper for harnesses that diff
+// before/after snapshots.
+func (s Snapshot) CounterValue(name string) (int64, bool) {
+	for _, c := range s.Counters {
+		if c.Name == name {
+			return c.Value, true
+		}
+	}
+	return 0, false
+}

@@ -146,6 +146,19 @@ func (t *Table) AddRow(values ...any) {
 	t.rows = append(t.rows, row)
 }
 
+// Header returns the column headers.
+func (t *Table) Header() []string { return append([]string(nil), t.header...) }
+
+// Rows returns a copy of the formatted rows, in insertion (or sorted)
+// order — the machine-readable form behind the JSON report writers.
+func (t *Table) Rows() [][]string {
+	out := make([][]string, len(t.rows))
+	for i, row := range t.rows {
+		out[i] = append([]string(nil), row...)
+	}
+	return out
+}
+
 // String renders the table.
 func (t *Table) String() string {
 	widths := make([]int, len(t.header))

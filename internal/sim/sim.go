@@ -16,8 +16,10 @@ package sim
 import (
 	"errors"
 	"fmt"
+	"time"
 
 	"waggle/internal/geom"
+	"waggle/internal/obs"
 	"waggle/internal/spatial"
 )
 
@@ -128,6 +130,12 @@ type World struct {
 	// inject is the optional fault-injection hook surface (see
 	// inject.go); nil means a fault-free world.
 	inject Injector
+
+	// obs is the optional observability hook (internal/obs): step
+	// metrics and activation/move trace events. Nil means disabled;
+	// every instrumentation site guards with a single nil check, so a
+	// world without an observer pays one predictable branch per site.
+	obs *obs.Observer
 }
 
 // Config configures a World.
@@ -243,6 +251,20 @@ func (w *World) Robot(i int) *Robot { return w.robots[i] }
 // Trace returns the recorded trace, or nil when recording is off.
 func (w *World) Trace() *Trace { return w.trace }
 
+// SetObserver attaches (or, with nil, detaches) the observability hook.
+// Safe between steps only. Attaching seeds the static gauges (swarm
+// size, current instant).
+func (w *World) SetObserver(o *obs.Observer) {
+	w.obs = o
+	if o != nil {
+		o.Sim.Robots.Set(float64(len(w.robots)))
+		o.Sim.Time.Set(float64(w.time))
+	}
+}
+
+// Observer returns the attached observer, or nil.
+func (w *World) Observer() *obs.Observer { return w.obs }
+
 // Step advances the world by one instant using the scheduler's
 // activation set. It returns the set of activated robots.
 //
@@ -255,6 +277,10 @@ func (w *World) Trace() *Trace { return w.trace }
 // infinite destination yields a descriptive error instead of silently
 // corrupting the configuration (NaN survives the sigma clamp).
 func (w *World) Step(s Scheduler) ([]int, error) {
+	var stepStart time.Time
+	if w.obs != nil {
+		stepStart = time.Now()
+	}
 	active := s.Next(w.time, len(w.robots))
 	if len(active) == 0 {
 		return nil, ErrEmptyActivation
@@ -282,6 +308,7 @@ func (w *World) Step(s Scheduler) ([]int, error) {
 			if w.trace != nil {
 				w.trace.endStep(w.time, active, w.pos)
 			}
+			w.observeStep(stepStart, 0)
 			w.time++
 			return active, nil
 		}
@@ -315,12 +342,36 @@ func (w *World) Step(s Scheduler) ([]int, error) {
 		if w.trace != nil {
 			w.trace.record(w.time, i, from, dest)
 		}
+		if o := w.obs; o != nil {
+			// Recorded here, on the stepping goroutine in activation
+			// order, so the trace content is engine-independent.
+			o.Record(obs.Event{T: w.time, Kind: obs.EvActivate, Robot: i, Peer: -1})
+			if d := from.Dist(dest); d > 0 {
+				o.Record(obs.Event{T: w.time, Kind: obs.EvMove, Robot: i, Peer: -1, Val: d})
+			}
+		}
 	}
 	if w.trace != nil {
 		w.trace.endStep(w.time, active, w.pos)
 	}
+	w.observeStep(stepStart, len(active))
 	w.time++
 	return active, nil
+}
+
+// observeStep records the per-instant metrics of a completed step.
+// stepStart is only valid when the observer is attached (Step skips the
+// clock read otherwise).
+func (w *World) observeStep(stepStart time.Time, activeLen int) {
+	o := w.obs
+	if o == nil {
+		return
+	}
+	o.Sim.Steps.Inc()
+	o.Sim.Activations.Add(int64(activeLen))
+	o.Sim.ActivationsPerStep.Observe(float64(activeLen))
+	o.Sim.Time.Set(float64(w.time + 1))
+	o.Sim.StepSeconds.Observe(time.Since(stepStart).Seconds())
 }
 
 // resetSeen clears the duplicate-activation marks set for this instant;
@@ -381,6 +432,11 @@ func (w *World) localView(i int, snapshot []geom.Point) View {
 		}
 	}
 	if visible != nil && w.viewIndex != nil {
+		if o := w.obs; o != nil {
+			// View-index hit: this view is built through the per-step
+			// grid. Atomic add — the compute phase runs concurrently.
+			o.Sim.ViewIndexViews.Inc()
+		}
 		// Limited visibility with the per-step grid: mark and transform
 		// only the robots inside the sensor disc (expected O(k) instead
 		// of O(n) transforms), pre-filling everything else with the

@@ -62,21 +62,39 @@ type ChaosScenario struct {
 	Sends []ChaosSend
 }
 
-// ChaosResult is the measured outcome of one scenario.
+// ObsRollup is the per-scenario observability rollup: every counter
+// the scenario's run incremented, keyed by full metric name
+// (waggle_sim_steps_total, waggle_msgr_retries_total, ...). Only
+// nonzero deltas appear; JSON encoding sorts the keys, so rollups are
+// schema-stable and diffable.
+type ObsRollup map[string]int64
+
+// ChaosResult is the measured outcome of one scenario. The JSON tags
+// are the stable encoding used by the -o reports; renaming one is a
+// schema break (bump ChaosReportSchema).
 type ChaosResult struct {
-	Scenario, Family, Protocol string
-	Sent, Delivered            int
+	Scenario  string `json:"scenario"`
+	Family    string `json:"family"`
+	Protocol  string `json:"protocol"`
+	Sent      int    `json:"sent"`
+	Delivered int    `json:"delivered"`
 	// MeanLatency is the mean instants from submission to delivery over
 	// the delivered messages.
-	MeanLatency float64
+	MeanLatency float64 `json:"mean_latency"`
 	// Messenger counters (zero for scenarios without a radio).
-	Retries, Failovers, Failbacks, ImplicitAcks int
+	Retries      int `json:"retries"`
+	Failovers    int `json:"failovers"`
+	Failbacks    int `json:"failbacks"`
+	ImplicitAcks int `json:"implicit_acks"`
 	// StepsToRecover is the fault-end-to-delivery time of the first
 	// post-fault probe message, or -1 when none was delivered.
-	StepsToRecover int
+	StepsToRecover int `json:"steps_to_recover"`
 	// TraceCSV is the full movement trace, when requested — the
 	// byte-identical-replay check of the determinism tests.
-	TraceCSV string
+	TraceCSV string `json:"-"`
+	// Obs is the observability rollup (RunChaosScenarioObserved; nil
+	// from the plain runner).
+	Obs ObsRollup `json:"obs,omitempty"`
 }
 
 // Rate returns the delivery rate.
@@ -280,15 +298,62 @@ func ChaosScenarios(seed int64) []ChaosScenario {
 	}
 }
 
+// FindChaosScenario looks a scenario up by name, listing the valid
+// names in the error when it is unknown.
+func FindChaosScenario(name string, seed int64) (ChaosScenario, error) {
+	all := ChaosScenarios(seed)
+	for _, sc := range all {
+		if sc.Name == name {
+			return sc, nil
+		}
+	}
+	names := make([]string, len(all))
+	for i, sc := range all {
+		names[i] = sc.Name
+	}
+	return ChaosScenario{}, fmt.Errorf("chaos: unknown scenario %q (try: %v)", name, names)
+}
+
 // RunChaosScenario executes one scenario under the given engine. With
 // trace set, the full movement trace is captured into the result (for
 // the byte-identical determinism checks).
 func RunChaosScenario(sc ChaosScenario, engine waggle.EngineMode, trace bool) (*ChaosResult, error) {
+	return runChaos(sc, engine, trace, nil)
+}
+
+// RunChaosScenarioObserved executes one scenario with the given
+// observer attached (a fresh one when nil) and fills the result's Obs
+// rollup with the counters the run incremented. Passing a shared
+// observer accumulates across scenarios — the rollup is still
+// per-scenario, computed as a before/after counter diff.
+func RunChaosScenarioObserved(sc ChaosScenario, engine waggle.EngineMode, trace bool, o *waggle.Observer) (*ChaosResult, error) {
+	if o == nil {
+		o = waggle.NewObserver()
+	}
+	before := o.DeterministicSnapshot()
+	res, err := runChaos(sc, engine, trace, o)
+	if err != nil {
+		return nil, err
+	}
+	res.Obs = ObsRollup{}
+	for _, c := range o.DeterministicSnapshot().Counters {
+		prev, _ := before.CounterValue(c.Name)
+		if d := c.Value - prev; d != 0 {
+			res.Obs[c.Name] = d
+		}
+	}
+	return res, nil
+}
+
+func runChaos(sc ChaosScenario, engine waggle.EngineMode, trace bool, obsv *waggle.Observer) (*ChaosResult, error) {
 	n := len(sc.Positions)
 	fail := func(err error) (*ChaosResult, error) {
 		return nil, fmt.Errorf("chaos %s: %w", sc.Name, err)
 	}
 	opts := []waggle.Option{waggle.WithSeed(sc.Seed), waggle.WithEngine(engine)}
+	if obsv != nil {
+		opts = append(opts, waggle.WithObserver(obsv))
+	}
 	if !sc.Async {
 		opts = append(opts, waggle.WithSynchronous())
 	}
@@ -441,17 +506,15 @@ func RunChaosScenario(sc ChaosScenario, engine waggle.EngineMode, trace bool) (*
 
 // ChaosTable runs every scenario and formats the report.
 func ChaosTable(seed int64, engine waggle.EngineMode) (*render.Table, error) {
-	tbl := render.NewTable("scenario", "family", "protocol", "sent", "delivered", "rate",
-		"mean latency", "retries", "failovers", "failbacks", "implicit acks", "steps to recover")
+	var results []ChaosResult
 	for _, sc := range ChaosScenarios(seed) {
 		r, err := RunChaosScenario(sc, engine, false)
 		if err != nil {
 			return nil, err
 		}
-		tbl.AddRow(r.Scenario, r.Family, r.Protocol, r.Sent, r.Delivered, r.Rate(),
-			r.MeanLatency, r.Retries, r.Failovers, r.Failbacks, r.ImplicitAcks, r.StepsToRecover)
+		results = append(results, *r)
 	}
-	return tbl, nil
+	return ChaosResultTable(results), nil
 }
 
 // Chaos is the sweep-registry entry: the full scenario table at seed 1

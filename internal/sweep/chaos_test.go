@@ -1,6 +1,7 @@
 package sweep
 
 import (
+	"reflect"
 	"testing"
 
 	"waggle"
@@ -51,7 +52,7 @@ func TestChaosEngineIndependence(t *testing.T) {
 			t.Errorf("%s: engines disagree on the movement trace", name)
 		}
 		seq.TraceCSV, par.TraceCSV = "", ""
-		if *seq != *par {
+		if !reflect.DeepEqual(seq, par) {
 			t.Errorf("%s: engines disagree on the report:\n%+v\nvs\n%+v", name, seq, par)
 		}
 	}

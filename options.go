@@ -69,6 +69,7 @@ type options struct {
 	stabilizeEpoch   int
 	faultPlan        *FaultPlan
 	faultRadio       *Radio
+	observer         *Observer
 }
 
 func defaultOptions() options {

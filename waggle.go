@@ -159,6 +159,12 @@ func NewSwarm(positions []Point, opts ...Option) (*Swarm, error) {
 	if err != nil {
 		return nil, fmt.Errorf("waggle: %w", err)
 	}
+	if o.observer != nil {
+		world.SetObserver(o.observer.inner)
+		if o.faultRadio != nil {
+			o.faultRadio.inner.SetObserver(o.observer.inner)
+		}
+	}
 	if o.faultPlan != nil {
 		plan, err := buildFaultPlan(*o.faultPlan, len(pts))
 		if err != nil {
@@ -175,11 +181,17 @@ func NewSwarm(positions []Point, opts ...Option) (*Swarm, error) {
 		if err := inj.AttachRadio(rc); err != nil {
 			return nil, fmt.Errorf("waggle: %w (pass the radio with WithFaultRadio)", err)
 		}
+		if o.observer != nil {
+			inj.SetObserver(o.observer.inner)
+		}
 		world.SetInjector(inj)
 	}
 	net, err := core.NewNetwork(world, buildScheduler(o), endpoints)
 	if err != nil {
 		return nil, fmt.Errorf("waggle: %w", err)
+	}
+	if o.observer != nil {
+		net.SetObserver(o.observer.inner)
 	}
 	return &Swarm{net: net, opts: o, n: len(pts), protocol: proto}, nil
 }
