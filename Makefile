@@ -4,9 +4,9 @@
 
 GO ?= go
 
-.PHONY: verify build vet test race bench bench-json bench-check chaos-check obs-check vulncheck
+.PHONY: verify build vet test race bench bench-json bench-check chaos-check obs-check replay-check vulncheck
 
-verify: build vet race chaos-check obs-check vulncheck
+verify: build vet race chaos-check obs-check replay-check vulncheck
 
 build:
 	$(GO) build ./...
@@ -48,6 +48,15 @@ chaos-check:
 	$(GO) run ./cmd/waggle-chaos -scenario move-error-sync
 	$(GO) run ./cmd/waggle-chaos -scenario radio-outage
 	$(GO) run ./cmd/waggle-chaos -scenario combined -engine parallel
+
+# Record-replay gate: the committed golden checkpoint must restore,
+# replay, and reproduce the committed movement trace byte-for-byte, and
+# every chaos scenario must survive a mid-plan kill-and-resume.
+# Regenerate the artifacts (only for intentional protocol changes) with
+# `go test -run TestGoldenReplay -update-golden .`.
+replay-check:
+	$(GO) test -run TestGoldenReplay -count=1 .
+	$(GO) run ./cmd/waggle-chaos -resume-check -scenario combined
 
 # Observability smoke: run a short instrumented sim, validate that the
 # Prometheus text exposition parses and the JSON snapshot round-trips

@@ -346,3 +346,76 @@ func BenchmarkStepObserver(b *testing.B) {
 		}
 	}
 }
+
+// benchCheckpointSwarm builds an n-robot swarm with a pending send.
+// Stepped history is deliberately absent: run-length merging collapses
+// any step run into one input-log entry, so history barely moves the
+// checkpoint size, while restoring it re-pays the live per-instant
+// cost 1:1 (the table in EXPERIMENTS.md separates that replay cost
+// from the fixed capture/encode/rebuild overhead measured here).
+func benchCheckpointSwarm(b *testing.B, n int) *Swarm {
+	b.Helper()
+	s, err := NewSwarm(benchPositions(n, 1), WithSynchronous(), WithSeed(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := s.Send(0, n-1, []byte("CKPT")); err != nil {
+		b.Fatal(err)
+	}
+	return s
+}
+
+// BenchmarkCheckpointSave measures capture + wire encoding, reporting
+// the serialized size (the EXPERIMENTS.md checkpoint table).
+func BenchmarkCheckpointSave(b *testing.B) {
+	for _, n := range []int{64, 512} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			s := benchCheckpointSwarm(b, n)
+			var size int
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				ck, err := s.Checkpoint()
+				if err != nil {
+					b.Fatal(err)
+				}
+				var buf bytes.Buffer
+				if err := WriteCheckpoint(&buf, ck); err != nil {
+					b.Fatal(err)
+				}
+				size = buf.Len()
+			}
+			b.ReportMetric(float64(size), "ckpt-bytes")
+		})
+	}
+}
+
+// BenchmarkCheckpointRestore measures decode + rebuild + replay +
+// verification — the full resume latency.
+func BenchmarkCheckpointRestore(b *testing.B) {
+	for _, n := range []int{64, 512} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			s := benchCheckpointSwarm(b, n)
+			ck, err := s.Checkpoint()
+			if err != nil {
+				b.Fatal(err)
+			}
+			var buf bytes.Buffer
+			if err := WriteCheckpoint(&buf, ck); err != nil {
+				b.Fatal(err)
+			}
+			wire := buf.Bytes()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				loaded, err := ReadCheckpoint(bytes.NewReader(wire))
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := Restore(loaded); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

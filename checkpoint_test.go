@@ -1,0 +1,394 @@
+package waggle
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"reflect"
+	"testing"
+)
+
+// ckptFingerprint is everything the acceptance criteria require to be
+// byte-identical between an uninterrupted run and a resumed one.
+type ckptFingerprint struct {
+	Time      int
+	Positions []Point
+	Delivered []Message
+	Trace     string
+	Obs       string
+}
+
+func fingerprint(t *testing.T, s *Swarm) ckptFingerprint {
+	t.Helper()
+	var trace bytes.Buffer
+	if err := s.WriteTraceCSV(&trace); err != nil {
+		t.Fatalf("trace: %v", err)
+	}
+	var obsJSON bytes.Buffer
+	if o := s.Observe(); o != nil {
+		if err := o.DeterministicSnapshot().WriteJSON(&obsJSON); err != nil {
+			t.Fatalf("obs: %v", err)
+		}
+	}
+	return ckptFingerprint{
+		Time:      s.Time(),
+		Positions: s.Positions(),
+		Delivered: s.Delivered(),
+		Trace:     trace.String(),
+		Obs:       obsJSON.String(),
+	}
+}
+
+func ckptTestPositions() []Point {
+	return []Point{{0, 0}, {10, 0}, {0, 10}, {10, 10}}
+}
+
+func ckptTestOptions(engine EngineMode) []Option {
+	return []Option{
+		WithSeed(12345),
+		WithTrace(),
+		WithObserver(NewObserver()),
+		WithEngine(engine),
+	}
+}
+
+// phase1 drives a swarm partway through a messaging workload; phase2
+// finishes it. Both runs (interrupted and not) execute exactly this
+// sequence.
+func ckptPhase1(t *testing.T, s *Swarm) {
+	t.Helper()
+	if err := s.Send(0, 1, []byte("HELLO")); err != nil {
+		t.Fatalf("send: %v", err)
+	}
+	if _, _, err := s.RunUntilDelivered(1, 40_000); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if err := s.Send(2, 3, []byte("Q")); err != nil {
+		t.Fatalf("send: %v", err)
+	}
+	for i := 0; i < 25; i++ {
+		if err := s.Step(); err != nil {
+			t.Fatalf("step %d: %v", i, err)
+		}
+	}
+}
+
+func ckptPhase2(t *testing.T, s *Swarm) {
+	t.Helper()
+	if _, _, err := s.RunUntilQuiet(60_000); err != nil {
+		t.Fatalf("quiet: %v", err)
+	}
+	for i := 0; i < 10; i++ {
+		if err := s.Step(); err != nil {
+			t.Fatalf("step %d: %v", i, err)
+		}
+	}
+}
+
+// TestCheckpointResumeByteIdentical is the tentpole acceptance
+// property: a run resumed from a mid-run checkpoint — serialized and
+// deserialized through the wire format — is byte-identical (positions,
+// trace, obs snapshot, deliveries) to the uninterrupted run, under
+// both engines.
+func TestCheckpointResumeByteIdentical(t *testing.T) {
+	for _, tc := range []struct {
+		name   string
+		engine EngineMode
+	}{
+		{"sequential", EngineSequential},
+		{"parallel", EngineParallel},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			full, err := NewSwarm(ckptTestPositions(), ckptTestOptions(tc.engine)...)
+			if err != nil {
+				t.Fatalf("full swarm: %v", err)
+			}
+			ckptPhase1(t, full)
+			ckptPhase2(t, full)
+			want := fingerprint(t, full)
+
+			cut, err := NewSwarm(ckptTestPositions(), ckptTestOptions(tc.engine)...)
+			if err != nil {
+				t.Fatalf("cut swarm: %v", err)
+			}
+			ckptPhase1(t, cut)
+			ck, err := cut.Checkpoint()
+			if err != nil {
+				t.Fatalf("checkpoint: %v", err)
+			}
+			var wire bytes.Buffer
+			if err := WriteCheckpoint(&wire, ck); err != nil {
+				t.Fatalf("encode: %v", err)
+			}
+			loaded, err := ReadCheckpoint(&wire)
+			if err != nil {
+				t.Fatalf("decode: %v", err)
+			}
+			res, err := Restore(loaded)
+			if err != nil {
+				t.Fatalf("restore: %v", err)
+			}
+			if res.Swarm.Time() != cut.Time() {
+				t.Fatalf("restored at t=%d, checkpointed at t=%d", res.Swarm.Time(), cut.Time())
+			}
+			ckptPhase2(t, res.Swarm)
+			got := fingerprint(t, res.Swarm)
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("resumed run diverged from uninterrupted run:\n got t=%d\nwant t=%d", got.Time, want.Time)
+			}
+		})
+	}
+}
+
+// TestCheckpointResumeCrossEngine pins RestoreWithEngine: a checkpoint
+// saved under one engine resumes byte-identically under the other.
+func TestCheckpointResumeCrossEngine(t *testing.T) {
+	full, err := NewSwarm(ckptTestPositions(), ckptTestOptions(EngineParallel)...)
+	if err != nil {
+		t.Fatalf("full swarm: %v", err)
+	}
+	ckptPhase1(t, full)
+	ckptPhase2(t, full)
+	want := fingerprint(t, full)
+
+	cut, err := NewSwarm(ckptTestPositions(), ckptTestOptions(EngineSequential)...)
+	if err != nil {
+		t.Fatalf("cut swarm: %v", err)
+	}
+	ckptPhase1(t, cut)
+	ck, err := cut.Checkpoint()
+	if err != nil {
+		t.Fatalf("checkpoint: %v", err)
+	}
+	res, err := Restore(ck, RestoreWithEngine(EngineParallel))
+	if err != nil {
+		t.Fatalf("restore: %v", err)
+	}
+	ckptPhase2(t, res.Swarm)
+	got := fingerprint(t, res.Swarm)
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("cross-engine resume diverged (t=%d vs %d)", got.Time, want.Time)
+	}
+}
+
+// TestCheckpointWithRestoreOption pins the NewSwarm(WithRestore(ck))
+// path, including its config verification.
+func TestCheckpointWithRestoreOption(t *testing.T) {
+	cut, err := NewSwarm(ckptTestPositions(), ckptTestOptions(EngineSequential)...)
+	if err != nil {
+		t.Fatalf("swarm: %v", err)
+	}
+	ckptPhase1(t, cut)
+	ck, err := cut.Checkpoint()
+	if err != nil {
+		t.Fatalf("checkpoint: %v", err)
+	}
+
+	// Mismatched options must be rejected, not silently replayed.
+	if _, err := NewSwarm(ckptTestPositions(), WithSeed(999), WithRestore(ck)); !errors.Is(err, ErrRestoreConfig) {
+		t.Fatalf("mismatched restore: got %v, want ErrRestoreConfig", err)
+	}
+
+	// Matching options (different engine is explicitly allowed) resume.
+	resumed, err := NewSwarm(ckptTestPositions(), append(ckptTestOptions(EngineParallel), WithRestore(ck))...)
+	if err != nil {
+		t.Fatalf("WithRestore: %v", err)
+	}
+	ckptPhase2(t, resumed)
+
+	full, err := NewSwarm(ckptTestPositions(), ckptTestOptions(EngineSequential)...)
+	if err != nil {
+		t.Fatalf("full swarm: %v", err)
+	}
+	ckptPhase1(t, full)
+	ckptPhase2(t, full)
+	if got, want := fingerprint(t, resumed), fingerprint(t, full); !reflect.DeepEqual(got, want) {
+		t.Fatalf("WithRestore resume diverged (t=%d vs %d)", got.Time, want.Time)
+	}
+}
+
+// faulted builds the full fault-tolerance stack: a jam-ramped radio
+// with a scripted outage and crash window, a self-healing messenger,
+// tracing and observability. The checkpoint is taken mid-plan, inside
+// both the outage and the ramp.
+func ckptFaultPlan() FaultPlan {
+	return FaultPlan{Events: []FaultEvent{
+		{Kind: FaultCrash, At: 10, Until: 30, Robot: 1},
+		{Kind: FaultRadioOutage, At: 5, Until: 90, Robot: 0},
+		{Kind: FaultJamRamp, At: 0, Until: 200, Min: 0.05, Max: 0.4, Robot: -1},
+	}}
+}
+
+type faultedStack struct {
+	swarm *Swarm
+	radio *Radio
+	bm    *BackupMessenger
+}
+
+func newFaultedStack(t *testing.T, engine EngineMode) faultedStack {
+	t.Helper()
+	radio := NewRadio(4, 99)
+	swarm, err := NewSwarm(ckptTestPositions(),
+		WithSynchronous(),
+		WithSeed(7),
+		WithTrace(),
+		WithObserver(NewObserver()),
+		WithEngine(engine),
+		WithFaultPlan(ckptFaultPlan()),
+		WithFaultRadio(radio),
+	)
+	if err != nil {
+		t.Fatalf("swarm: %v", err)
+	}
+	bm, err := NewBackupMessenger(radio, swarm)
+	if err != nil {
+		t.Fatalf("messenger: %v", err)
+	}
+	if err := bm.SetPolicy(DefaultMessengerPolicy()); err != nil {
+		t.Fatalf("policy: %v", err)
+	}
+	return faultedStack{swarm: swarm, radio: radio, bm: bm}
+}
+
+func faultedPhase1(t *testing.T, st faultedStack) {
+	t.Helper()
+	// Robot 0's radio breaks at t=5; this traffic exercises retries and
+	// the movement failover while the jam ramp loses other sends.
+	if err := st.bm.Send(0, 2, []byte("VIA-BACKUP")); err != nil {
+		t.Fatalf("bm send: %v", err)
+	}
+	for i := 0; i < 40; i++ {
+		if err := st.bm.Step(); err != nil {
+			t.Fatalf("bm step %d: %v", i, err)
+		}
+	}
+	if err := st.radio.Send(2, 3, []byte("DIRECT")); err != nil && !errors.Is(err, ErrRadioFailed) {
+		t.Fatalf("radio send: %v", err)
+	}
+	st.radio.Receive(3)
+}
+
+func faultedPhase2(t *testing.T, st faultedStack) {
+	t.Helper()
+	if err := st.bm.Send(3, 1, []byte("LATE")); err != nil {
+		t.Fatalf("bm send: %v", err)
+	}
+	if _, err := st.bm.RunUntilSettled(120_000); err != nil {
+		t.Fatalf("settle: %v", err)
+	}
+	for i := 0; i < 20; i++ {
+		if err := st.bm.Step(); err != nil {
+			t.Fatalf("bm step %d: %v", i, err)
+		}
+	}
+}
+
+func faultedFingerprint(t *testing.T, st faultedStack) ckptFingerprint {
+	fp := fingerprint(t, st.swarm)
+	sent, delivered, lost := st.radio.Stats()
+	fp.Obs += fmt.Sprintf("|radio:%d,%d,%d", sent, delivered, lost)
+	vr, vm := st.bm.Stats()
+	fp.Obs += fmt.Sprintf("|msgr:%d,%d", vr, vm)
+	return fp
+}
+
+// TestCheckpointResumeUnderFaultPlan is the hard acceptance case: the
+// checkpoint is taken mid-plan — inside an outage window, on a jam
+// ramp, with messenger failover state live — and the resumed run must
+// still be byte-identical under both engines.
+func TestCheckpointResumeUnderFaultPlan(t *testing.T) {
+	for _, tc := range []struct {
+		name   string
+		engine EngineMode
+	}{
+		{"sequential", EngineSequential},
+		{"parallel", EngineParallel},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			full := newFaultedStack(t, tc.engine)
+			faultedPhase1(t, full)
+			faultedPhase2(t, full)
+			want := faultedFingerprint(t, full)
+
+			cut := newFaultedStack(t, tc.engine)
+			faultedPhase1(t, cut)
+			ck, err := cut.swarm.Checkpoint()
+			if err != nil {
+				t.Fatalf("checkpoint: %v", err)
+			}
+			var wire bytes.Buffer
+			if err := WriteCheckpoint(&wire, ck); err != nil {
+				t.Fatalf("encode: %v", err)
+			}
+			loaded, err := ReadCheckpoint(&wire)
+			if err != nil {
+				t.Fatalf("decode: %v", err)
+			}
+			res, err := Restore(loaded)
+			if err != nil {
+				t.Fatalf("restore: %v", err)
+			}
+			if res.Radio == nil || res.Messenger == nil {
+				t.Fatalf("restore dropped the radio or messenger")
+			}
+			faultedPhase2(t, faultedStack{swarm: res.Swarm, radio: res.Radio, bm: res.Messenger})
+			got := faultedFingerprint(t, faultedStack{swarm: res.Swarm, radio: res.Radio, bm: res.Messenger})
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("faulted resume diverged (t=%d vs %d)", got.Time, want.Time)
+			}
+		})
+	}
+}
+
+// TestCheckpointRestoreMismatch pins the integrity check: a checkpoint
+// whose stored snapshot disagrees with its replayed inputs must fail
+// with ErrRestoreMismatch instead of resuming a different run.
+func TestCheckpointRestoreMismatch(t *testing.T) {
+	s, err := NewSwarm(ckptTestPositions(), ckptTestOptions(EngineSequential)...)
+	if err != nil {
+		t.Fatalf("swarm: %v", err)
+	}
+	ckptPhase1(t, s)
+	ck, err := s.Checkpoint()
+	if err != nil {
+		t.Fatalf("checkpoint: %v", err)
+	}
+	ck.State.Positions[0].X += 1e-9
+	if _, err := Restore(ck); !errors.Is(err, ErrRestoreMismatch) {
+		t.Fatalf("tampered snapshot: got %v, want ErrRestoreMismatch", err)
+	}
+}
+
+// TestCheckpointRecheckpoint pins that a restored swarm can itself be
+// checkpointed: the input log is re-seated from genesis.
+func TestCheckpointRecheckpoint(t *testing.T) {
+	s, err := NewSwarm(ckptTestPositions(), ckptTestOptions(EngineSequential)...)
+	if err != nil {
+		t.Fatalf("swarm: %v", err)
+	}
+	ckptPhase1(t, s)
+	ck1, err := s.Checkpoint()
+	if err != nil {
+		t.Fatalf("checkpoint: %v", err)
+	}
+	res, err := Restore(ck1)
+	if err != nil {
+		t.Fatalf("restore: %v", err)
+	}
+	for i := 0; i < 5; i++ {
+		if err := res.Swarm.Step(); err != nil {
+			t.Fatalf("step: %v", err)
+		}
+	}
+	ck2, err := res.Swarm.Checkpoint()
+	if err != nil {
+		t.Fatalf("second checkpoint: %v", err)
+	}
+	res2, err := Restore(ck2)
+	if err != nil {
+		t.Fatalf("second restore: %v", err)
+	}
+	if res2.Swarm.Time() != res.Swarm.Time() {
+		t.Fatalf("re-restore at t=%d, want %d", res2.Swarm.Time(), res.Swarm.Time())
+	}
+}

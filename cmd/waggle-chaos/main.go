@@ -15,17 +15,17 @@
 //	waggle-chaos -o report.json      # schema-stable JSON with obs rollups
 //	waggle-chaos -listen :8080       # serve /metrics, /trace, pprof
 //	waggle-chaos -list               # scenario names
+//	waggle-chaos -resume-check       # verify kill-and-resume determinism
 package main
 
 import (
 	"flag"
 	"fmt"
-	"net"
-	"net/http"
 	"os"
 	"os/signal"
 
 	"waggle"
+	"waggle/internal/obs"
 	"waggle/internal/sweep"
 )
 
@@ -39,6 +39,9 @@ type config struct {
 	out      string // -o: JSON report path ("-" = stdout)
 	listen   string // -listen: introspection endpoint address
 	block    bool   // keep serving after the run until interrupted
+
+	resumeCheck bool // -resume-check: verify kill-and-resume determinism and exit
+	killAt      int  // -kill-at: instant of the simulated death
 }
 
 func main() {
@@ -50,6 +53,8 @@ func main() {
 	flag.BoolVar(&cfg.list, "list", false, "list scenario names and exit")
 	flag.StringVar(&cfg.out, "o", "", "write the schema-stable JSON report to this file (- = stdout)")
 	flag.StringVar(&cfg.listen, "listen", "", "serve the observability endpoint (/metrics, /trace, pprof) on this address")
+	flag.BoolVar(&cfg.resumeCheck, "resume-check", false, "kill each scenario mid-plan, checkpoint, resume, and verify byte-identical traces; exit nonzero on divergence")
+	flag.IntVar(&cfg.killAt, "kill-at", 150, "instant of the simulated process death for -resume-check")
 	flag.Parse()
 	cfg.block = cfg.listen != ""
 	if err := run(cfg); err != nil {
@@ -68,6 +73,9 @@ func run(cfg config) error {
 	engine, err := parseEngine(cfg.engine)
 	if err != nil {
 		return err
+	}
+	if cfg.resumeCheck {
+		return resumeCheck(cfg, engine)
 	}
 	if cfg.scenario != "" {
 		if _, err := sweep.FindChaosScenario(cfg.scenario, cfg.seed); err != nil {
@@ -105,6 +113,41 @@ func run(cfg config) error {
 	return nil
 }
 
+// resumeCheck runs each scenario twice — uninterrupted, and with a
+// simulated process death at -kill-at followed by a checkpoint restore
+// — and verifies the movement traces and reports are byte-identical.
+// One scenario can be selected with -scenario; the default sweeps all.
+func resumeCheck(cfg config, engine waggle.EngineMode) error {
+	scenarios := sweep.ChaosScenarios(cfg.seed)
+	if cfg.scenario != "" {
+		sc, err := sweep.FindChaosScenario(cfg.scenario, cfg.seed)
+		if err != nil {
+			return err
+		}
+		scenarios = []sweep.ChaosScenario{sc}
+	}
+	for _, sc := range scenarios {
+		killAt := cfg.killAt
+		if killAt >= sc.Budget {
+			killAt = sc.Budget / 2
+		}
+		want, err := sweep.RunChaosScenario(sc, engine, true)
+		if err != nil {
+			return err
+		}
+		got, err := sweep.RunChaosScenarioResumed(sc, engine, killAt)
+		if err != nil {
+			return err
+		}
+		if got.TraceCSV != want.TraceCSV {
+			return fmt.Errorf("resume-check %s: resumed trace diverges from the uninterrupted run (kill at t=%d)", sc.Name, killAt)
+		}
+		fmt.Printf("resume-check ok: %-16s killed at t=%-5d trace byte-identical (%d bytes)\n",
+			sc.Name, killAt, len(want.TraceCSV))
+	}
+	return nil
+}
+
 func writeReport(path string, report *sweep.ChaosReport) error {
 	if path == "-" {
 		return report.WriteJSON(os.Stdout)
@@ -118,17 +161,17 @@ func writeReport(path string, report *sweep.ChaosReport) error {
 }
 
 // serveIntrospection starts the observability endpoint in the
-// background, returning the closer. The resolved address is printed so
-// ":0" is usable in scripts and tests.
+// background, returning the closer. The server is hardened (header,
+// read, write and idle timeouts; graceful drain on stop) by obs.Serve.
+// The resolved address is printed so ":0" is usable in scripts and
+// tests.
 func serveIntrospection(addr string, o *waggle.Observer) (func(), error) {
-	ln, err := net.Listen("tcp", addr)
+	bound, stop, err := obs.Serve(addr, o.Handler())
 	if err != nil {
 		return nil, err
 	}
-	srv := &http.Server{Handler: o.Handler()}
-	go func() { _ = srv.Serve(ln) }()
-	fmt.Printf("observability endpoint: http://%s/metrics\n", ln.Addr())
-	return func() { _ = srv.Close() }, nil
+	fmt.Printf("observability endpoint: http://%s/metrics\n", bound)
+	return stop, nil
 }
 
 func waitForInterrupt() {

@@ -8,16 +8,17 @@
 //	waggle-sim -n 6 -scheduler starver -msg X
 //	waggle-sim -n 4 -sync -listen :8080   # serve /metrics, /trace, pprof
 //	waggle-sim -obs-check                 # validate the obs pipeline
+//	waggle-sim -checkpoint run.ckpt -checkpoint-every 5000
+//	waggle-sim -resume run.ckpt           # continue an interrupted run
 package main
 
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"math/rand"
-	"net"
-	"net/http"
 	"os"
 	"os/signal"
 
@@ -44,6 +45,10 @@ type config struct {
 	listen    string // -listen: observability endpoint address
 	block     bool   // keep serving after the run until interrupted
 	obsCheck  bool   // -obs-check: validate the obs pipeline and exit
+
+	ckptPath  string // -checkpoint: write checkpoints to this file
+	ckptEvery int    // -checkpoint-every: save every N instants while waiting
+	resume    string // -resume: continue a run from this checkpoint file
 }
 
 func main() {
@@ -64,6 +69,9 @@ func main() {
 	flag.StringVar(&cfg.tracePath, "trace", "", "write the full execution trace as CSV to this file")
 	flag.StringVar(&cfg.listen, "listen", "", "serve the observability endpoint (/metrics, /trace, pprof) on this address")
 	flag.BoolVar(&cfg.obsCheck, "obs-check", false, "run a short instrumented sim, validate the metrics pipeline, and exit")
+	flag.StringVar(&cfg.ckptPath, "checkpoint", "", "write checkpoints to this file (atomic; see -checkpoint-every)")
+	flag.IntVar(&cfg.ckptEvery, "checkpoint-every", 0, "while waiting for delivery, save a checkpoint every N instants (requires -checkpoint)")
+	flag.StringVar(&cfg.resume, "resume", "", "resume a run from this checkpoint file instead of starting fresh")
 	flag.Parse()
 	cfg.block = cfg.listen != ""
 	if err := run(cfg); err != nil {
@@ -75,6 +83,12 @@ func main() {
 func run(cfg config) error {
 	if cfg.obsCheck {
 		return obsCheck()
+	}
+	if cfg.ckptEvery > 0 && cfg.ckptPath == "" {
+		return fmt.Errorf("-checkpoint-every requires -checkpoint")
+	}
+	if cfg.resume != "" {
+		return runResumed(cfg)
 	}
 	rng := rand.New(rand.NewSource(cfg.seed))
 	raw := figures.RandomConfiguration(rng, cfg.n, float64(cfg.n)*12, 8)
@@ -129,14 +143,64 @@ func run(cfg config) error {
 	if err := swarm.Send(cfg.from, cfg.to, []byte(cfg.msg)); err != nil {
 		return err
 	}
-	msgs, steps, err := swarm.RunUntilDelivered(1, cfg.budget)
+	return finishRun(cfg, swarm, cfg.budget)
+}
+
+// runResumed continues a run from a checkpoint file: the pending send,
+// positions, clock, scheduler and RNG streams are all restored, so the
+// continuation is byte-identical to a run that was never interrupted.
+func runResumed(cfg config) error {
+	ck, err := waggle.LoadCheckpoint(cfg.resume)
+	if err != nil {
+		return err
+	}
+	res, err := waggle.Restore(ck)
+	if err != nil {
+		return err
+	}
+	swarm := res.Swarm
+	if cfg.listen != "" {
+		if res.Observer == nil {
+			return fmt.Errorf("-listen with -resume needs a checkpoint captured with an observer")
+		}
+		stop, err := serveIntrospection(cfg.listen, res.Observer)
+		if err != nil {
+			return err
+		}
+		defer stop()
+	}
+	if !cfg.quiet {
+		fmt.Printf("resumed from %s at t=%d (n=%d)\n", cfg.resume, swarm.Time(), swarm.N())
+	}
+	return finishRun(cfg, swarm, cfg.budget)
+}
+
+// finishRun drives the swarm to the first delivery — saving periodic
+// checkpoints if configured — and prints the reports.
+func finishRun(cfg config, swarm *waggle.Swarm, budget int) error {
+	msgs, steps, err := deliverWithCheckpoints(cfg, swarm, budget)
 	if err != nil {
 		return err
 	}
 	fmt.Printf("robot %d -> robot %d in %d instants: %q\n", msgs[0].From, msgs[0].To, steps, msgs[0].Payload)
 	if !cfg.quiet {
+		// Key the sender stats on the delivered message, not cfg.from: a
+		// resumed run doesn't know the original -from flag.
+		sender := msgs[0].From
 		fmt.Printf("sender excursions: %d; sender distance: %.2f; min pairwise distance: %.3f\n",
-			swarm.SentBits(cfg.from), swarm.TotalDistance(cfg.from), swarm.MinPairwiseDistance())
+			swarm.SentBits(sender), swarm.TotalDistance(sender), swarm.MinPairwiseDistance())
+	}
+	if cfg.ckptPath != "" {
+		ck, err := swarm.Checkpoint()
+		if err != nil {
+			return err
+		}
+		if err := waggle.SaveCheckpoint(cfg.ckptPath, ck); err != nil {
+			return err
+		}
+		if !cfg.quiet {
+			fmt.Printf("final checkpoint (t=%d) written to %s\n", swarm.Time(), cfg.ckptPath)
+		}
 	}
 	if cfg.tracePath != "" {
 		f, err := os.Create(cfg.tracePath)
@@ -156,6 +220,44 @@ func run(cfg config) error {
 		waitForInterrupt()
 	}
 	return nil
+}
+
+// deliverWithCheckpoints waits for the first delivery. With
+// -checkpoint-every it runs the budget in chunks, atomically saving a
+// checkpoint after each undelivered chunk so an interrupted run can be
+// continued with -resume from at most one chunk back.
+func deliverWithCheckpoints(cfg config, swarm *waggle.Swarm, budget int) ([]waggle.Message, int, error) {
+	if cfg.ckptEvery <= 0 {
+		return swarm.RunUntilDelivered(1, budget)
+	}
+	total := 0
+	for {
+		chunk := cfg.ckptEvery
+		if remaining := budget - total; chunk > remaining {
+			chunk = remaining
+		}
+		msgs, steps, err := swarm.RunUntilDelivered(1, chunk)
+		total += steps
+		if err == nil {
+			return msgs, total, nil
+		}
+		if !errors.Is(err, waggle.ErrNotDelivered) {
+			return nil, total, err
+		}
+		ck, ckErr := swarm.Checkpoint()
+		if ckErr != nil {
+			return nil, total, ckErr
+		}
+		if ckErr := waggle.SaveCheckpoint(cfg.ckptPath, ck); ckErr != nil {
+			return nil, total, ckErr
+		}
+		if !cfg.quiet {
+			fmt.Printf("checkpoint (t=%d) written to %s\n", swarm.Time(), cfg.ckptPath)
+		}
+		if total >= budget {
+			return nil, total, err
+		}
+	}
 }
 
 // obsCheck is `make obs-check`: run a short instrumented sim, then
@@ -211,17 +313,17 @@ func obsCheck() error {
 }
 
 // serveIntrospection starts the observability endpoint in the
-// background, returning the closer. The resolved address is printed so
-// ":0" is usable in scripts and tests.
+// background, returning the closer. The server is hardened (header,
+// read, write and idle timeouts; graceful drain on stop) by obs.Serve.
+// The resolved address is printed so ":0" is usable in scripts and
+// tests.
 func serveIntrospection(addr string, o *waggle.Observer) (func(), error) {
-	ln, err := net.Listen("tcp", addr)
+	bound, stop, err := obs.Serve(addr, o.Handler())
 	if err != nil {
 		return nil, err
 	}
-	srv := &http.Server{Handler: o.Handler()}
-	go func() { _ = srv.Serve(ln) }()
-	fmt.Printf("observability endpoint: http://%s/metrics\n", ln.Addr())
-	return func() { _ = srv.Close() }, nil
+	fmt.Printf("observability endpoint: http://%s/metrics\n", bound)
+	return stop, nil
 }
 
 func waitForInterrupt() {

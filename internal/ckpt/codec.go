@@ -1,0 +1,144 @@
+package ckpt
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// Typed decode failures. Each failure mode has its own sentinel so
+// callers (and tests) can tell a wrong-version file from a damaged one.
+var (
+	// ErrSchema marks a checkpoint written by an incompatible format
+	// version.
+	ErrSchema = errors.New("ckpt: checkpoint schema mismatch")
+	// ErrChecksum marks a checkpoint whose body does not match its
+	// recorded CRC32 (bit rot, partial overwrite, manual edits).
+	ErrChecksum = errors.New("ckpt: checkpoint checksum mismatch")
+	// ErrTruncated marks a checkpoint that does not parse at all —
+	// typically a write cut short.
+	ErrTruncated = errors.New("ckpt: truncated or malformed checkpoint")
+)
+
+// envelope is the on-disk frame: the schema tag, an IEEE CRC32 over the
+// raw body bytes, and the body itself. The CRC is computed over the
+// exact serialized body, so any post-write corruption — inside the body
+// or from truncation that happens to keep the JSON well-formed — is
+// caught before the body is even parsed.
+type envelope struct {
+	Schema string          `json:"schema"`
+	CRC32  uint32          `json:"crc32"`
+	Body   json.RawMessage `json:"body"`
+}
+
+// Encode serializes a checkpoint into the versioned, checksummed wire
+// form.
+func Encode(ck *Checkpoint) ([]byte, error) {
+	if ck == nil {
+		return nil, errors.New("ckpt: nil checkpoint")
+	}
+	body, err := json.Marshal(ck)
+	if err != nil {
+		return nil, fmt.Errorf("ckpt: encode body: %w", err)
+	}
+	data, err := json.Marshal(envelope{Schema: Schema, CRC32: crc32.ChecksumIEEE(body), Body: body})
+	if err != nil {
+		return nil, fmt.Errorf("ckpt: encode envelope: %w", err)
+	}
+	return data, nil
+}
+
+// Decode parses and validates the wire form: envelope shape, schema
+// version, body checksum, body shape — in that order, so the error
+// names the outermost failure.
+func Decode(data []byte) (*Checkpoint, error) {
+	var env envelope
+	if err := json.Unmarshal(data, &env); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrTruncated, err)
+	}
+	if env.Schema != Schema {
+		return nil, fmt.Errorf("%w: file says %q, this build reads %q", ErrSchema, env.Schema, Schema)
+	}
+	if got := crc32.ChecksumIEEE(env.Body); got != env.CRC32 {
+		return nil, fmt.Errorf("%w: body CRC32 %08x, envelope says %08x", ErrChecksum, got, env.CRC32)
+	}
+	var ck Checkpoint
+	if err := json.Unmarshal(env.Body, &ck); err != nil {
+		return nil, fmt.Errorf("%w: body: %v", ErrTruncated, err)
+	}
+	return &ck, nil
+}
+
+// Save writes the encoded checkpoint to w.
+func Save(w io.Writer, ck *Checkpoint) error {
+	data, err := Encode(ck)
+	if err != nil {
+		return err
+	}
+	if _, err := w.Write(data); err != nil {
+		return fmt.Errorf("ckpt: write: %w", err)
+	}
+	return nil
+}
+
+// Load reads and decodes a checkpoint from r.
+func Load(r io.Reader) (*Checkpoint, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, fmt.Errorf("ckpt: read: %w", err)
+	}
+	return Decode(data)
+}
+
+// SaveFile writes the checkpoint atomically: encode, write to a
+// same-directory temp file, fsync, rename. A crash mid-save leaves
+// either the previous checkpoint or none — never a torn file that
+// Decode would then reject at the worst possible moment.
+func SaveFile(path string, ck *Checkpoint) error {
+	data, err := Encode(ck)
+	if err != nil {
+		return err
+	}
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return fmt.Errorf("ckpt: temp file: %w", err)
+	}
+	tmpName := tmp.Name()
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmpName)
+		return fmt.Errorf("ckpt: write %s: %w", tmpName, err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		os.Remove(tmpName)
+		return fmt.Errorf("ckpt: sync %s: %w", tmpName, err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("ckpt: close %s: %w", tmpName, err)
+	}
+	if err := os.Rename(tmpName, path); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("ckpt: rename into place: %w", err)
+	}
+	return nil
+}
+
+// LoadFile reads and decodes the checkpoint at path.
+func LoadFile(path string) (*Checkpoint, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("ckpt: read %s: %w", path, err)
+	}
+	ck, err := Decode(data)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return ck, nil
+}

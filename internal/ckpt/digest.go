@@ -1,0 +1,15 @@
+package ckpt
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+)
+
+// Digest returns the hex SHA-256 of b, the form stored in State for the
+// trace and obs-snapshot integrity checks. Hashing keeps arbitrarily
+// long traces out of the checkpoint while still pinning them
+// byte-for-byte.
+func Digest(b []byte) string {
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:])
+}

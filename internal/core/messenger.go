@@ -430,3 +430,75 @@ func (b *BackupMessenger) DetailedStats() MessengerStats {
 	s.AwaitingAck = len(b.watches)
 	return s
 }
+
+// Policy returns the active self-healing policy and whether self-healing
+// is enabled at all (a zero policy with enabled=false is the legacy
+// fall-back-once messenger).
+func (b *BackupMessenger) Policy() (p MessengerPolicy, enabled bool) {
+	return b.policy, b.selfHeal
+}
+
+// PendingSnapshot is one checkpointed retry-queue entry.
+type PendingSnapshot struct {
+	From, To  int
+	Payload   []byte
+	Submitted int
+	Attempts  int
+	NextTry   int
+}
+
+// WatchSnapshot is one checkpointed implicit-acknowledgement watch.
+type WatchSnapshot struct {
+	From, To int
+	Payload  []byte
+}
+
+// MessengerSnapshot is the checkpointable state of a BackupMessenger:
+// counters, retry queue, acknowledgement watches, the delivered-record
+// ack cursor, and the per-sender channel modes and probe deadlines.
+type MessengerSnapshot struct {
+	Stats     MessengerStats
+	SelfHeal  bool
+	Policy    MessengerPolicy
+	Pending   []PendingSnapshot
+	Watches   []WatchSnapshot
+	AckCursor int
+	Mode      []Channel
+	ProbeAt   []int
+}
+
+// Snapshot captures the messenger's complete deterministic state. All
+// slices and payloads are deep copies.
+func (b *BackupMessenger) Snapshot() MessengerSnapshot {
+	s := MessengerSnapshot{
+		Stats:     b.stats,
+		SelfHeal:  b.selfHeal,
+		Policy:    b.policy,
+		AckCursor: b.ackCursor,
+	}
+	if b.pending != nil {
+		s.Pending = make([]PendingSnapshot, len(b.pending))
+		for i, m := range b.pending {
+			s.Pending[i] = PendingSnapshot{
+				From: m.from, To: m.to,
+				Payload:   append([]byte(nil), m.payload...),
+				Submitted: m.submitted,
+				Attempts:  m.attempts,
+				NextTry:   m.nextTry,
+			}
+		}
+	}
+	if b.watches != nil {
+		s.Watches = make([]WatchSnapshot, len(b.watches))
+		for i, w := range b.watches {
+			s.Watches[i] = WatchSnapshot{From: w.from, To: w.to, Payload: append([]byte(nil), w.payload...)}
+		}
+	}
+	if b.mode != nil {
+		s.Mode = append([]Channel(nil), b.mode...)
+	}
+	if b.probeAt != nil {
+		s.ProbeAt = append([]int(nil), b.probeAt...)
+	}
+	return s
+}

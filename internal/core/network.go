@@ -17,6 +17,51 @@ import (
 // messages arrive.
 var ErrNotDelivered = errors.New("core: messages not delivered within the step budget")
 
+// BudgetError reports a negative step or delivery budget passed to a
+// RunUntil* call. (A zero budget is legal: it means "check without
+// stepping" — see RunUntilDelivered.) It unwraps to ErrInvalidBudget.
+type BudgetError struct {
+	// Op is the rejected call, e.g. "RunUntilDelivered".
+	Op string
+	// Param names the offending parameter ("count" or "maxSteps").
+	Param string
+	// Value is the rejected budget.
+	Value int
+}
+
+// Error implements error.
+func (e *BudgetError) Error() string {
+	return fmt.Sprintf("core: %s: negative %s budget %d", e.Op, e.Param, e.Value)
+}
+
+// Unwrap lets errors.Is(err, ErrInvalidBudget) match any BudgetError.
+func (e *BudgetError) Unwrap() error { return ErrInvalidBudget }
+
+// ErrInvalidBudget is the sentinel every BudgetError unwraps to.
+var ErrInvalidBudget = errors.New("core: invalid budget")
+
+// CursorError reports a consumption cursor inconsistent with the
+// delivered log — reachable only through a corrupted or mismatched
+// checkpoint restore, never through normal operation. It unwraps to
+// ErrCorruptCursor.
+type CursorError struct {
+	// Consumed is the cursor position, Delivered the log length, and
+	// Count the requested window that overran it.
+	Consumed, Delivered, Count int
+}
+
+// Error implements error.
+func (e *CursorError) Error() string {
+	return fmt.Sprintf("core: consumption cursor %d + count %d exceeds delivered log of %d (corrupt restore?)",
+		e.Consumed, e.Count, e.Delivered)
+}
+
+// Unwrap lets errors.Is(err, ErrCorruptCursor) match any CursorError.
+func (e *CursorError) Unwrap() error { return ErrCorruptCursor }
+
+// ErrCorruptCursor is the sentinel every CursorError unwraps to.
+var ErrCorruptCursor = errors.New("core: corrupt consumption cursor")
+
 // Network is a swarm wired for explicit communication: a world whose
 // robots execute a movement-signal protocol, the per-robot endpoints,
 // and the activation scheduler. It is the engine behind the public
@@ -137,18 +182,33 @@ func (n *Network) Step() error {
 // that arrived before this call but were never returned (e.g. surplus
 // messages that landed in the same step a previous call stopped at) —
 // and the number of instants executed.
+//
+// A zero maxSteps is legal and means "check without stepping": already
+// collected, unconsumed deliveries satisfy the call, otherwise it fails
+// with ErrNotDelivered after zero instants. In particular
+// RunUntilDelivered(0, maxSteps) always succeeds immediately with an
+// empty batch and zero instants executed. Negative budgets are rejected
+// with a *BudgetError.
 func (n *Network) RunUntilDelivered(count, maxSteps int) ([]protocol.Received, int, error) {
+	if count < 0 {
+		return nil, 0, &BudgetError{Op: "RunUntilDelivered", Param: "count", Value: count}
+	}
+	if maxSteps < 0 {
+		return nil, 0, &BudgetError{Op: "RunUntilDelivered", Param: "maxSteps", Value: maxSteps}
+	}
 	n.collect()
 	for step := 0; step < maxSteps; step++ {
 		if len(n.delivered)-n.consumed >= count {
-			return n.consume(count), step, nil
+			out, err := n.consume(count)
+			return out, step, err
 		}
 		if err := n.Step(); err != nil {
 			return nil, step, err
 		}
 	}
 	if len(n.delivered)-n.consumed >= count {
-		return n.consume(count), maxSteps, nil
+		out, err := n.consume(count)
+		return out, maxSteps, err
 	}
 	return nil, maxSteps, fmt.Errorf("%w: %d of %d after %d steps",
 		ErrNotDelivered, len(n.delivered)-n.consumed, count, maxSteps)
@@ -159,29 +219,42 @@ func (n *Network) RunUntilDelivered(count, maxSteps int) ([]protocol.Received, i
 // message not yet handed out by a previous RunUntil* call — deliveries
 // collected before the run started included — plus those delivered
 // during the run.
+//
+// A zero maxSteps means "check without stepping", mirroring
+// RunUntilDelivered; a negative budget is rejected with a *BudgetError.
 func (n *Network) RunUntilQuiet(maxSteps int) ([]protocol.Received, int, error) {
+	if maxSteps < 0 {
+		return nil, 0, &BudgetError{Op: "RunUntilQuiet", Param: "maxSteps", Value: maxSteps}
+	}
 	n.collect()
 	for step := 0; step < maxSteps; step++ {
 		if n.allIdle() {
-			return n.consume(len(n.delivered) - n.consumed), step, nil
+			out, err := n.consume(len(n.delivered) - n.consumed)
+			return out, step, err
 		}
 		if err := n.Step(); err != nil {
 			return nil, step, err
 		}
 	}
 	if n.allIdle() {
-		return n.consume(len(n.delivered) - n.consumed), maxSteps, nil
+		out, err := n.consume(len(n.delivered) - n.consumed)
+		return out, maxSteps, err
 	}
 	return nil, maxSteps, fmt.Errorf("%w: endpoints still busy after %d steps", ErrNotDelivered, maxSteps)
 }
 
 // consume hands out the next `count` deliveries past the cursor and
-// advances it.
-func (n *Network) consume(count int) []protocol.Received {
+// advances it. A cursor window past the end of the delivered log —
+// possible only if a restore loaded inconsistent state — is reported as
+// a *CursorError instead of a slice-bounds panic.
+func (n *Network) consume(count int) ([]protocol.Received, error) {
+	if n.consumed < 0 || count < 0 || n.consumed+count > len(n.delivered) {
+		return nil, &CursorError{Consumed: n.consumed, Delivered: len(n.delivered), Count: count}
+	}
 	out := make([]protocol.Received, count)
 	copy(out, n.delivered[n.consumed:n.consumed+count])
 	n.consumed += count
-	return out
+	return out, nil
 }
 
 // Delivered returns every message delivered so far, in order.
@@ -204,6 +277,25 @@ func (n *Network) DeliveredSince(from int) []protocol.Received {
 		return nil
 	}
 	return append([]protocol.Received(nil), n.delivered[from:]...)
+}
+
+// Scheduler exposes the activation scheduler driving the network's
+// steps, for checkpoint capture of its stream state.
+func (n *Network) Scheduler() sim.Scheduler { return n.scheduler }
+
+// Consumed returns the consumption cursor: how many delivered messages
+// RunUntil* calls have already handed out.
+func (n *Network) Consumed() int { return n.consumed }
+
+// RestoreConsumed reinstates a checkpointed consumption cursor. Cursors
+// outside [0, len(delivered)] are rejected with a *CursorError so a
+// corrupt checkpoint surfaces at restore time, not as a later panic.
+func (n *Network) RestoreConsumed(consumed int) error {
+	if consumed < 0 || consumed > len(n.delivered) {
+		return &CursorError{Consumed: consumed, Delivered: len(n.delivered)}
+	}
+	n.consumed = consumed
+	return nil
 }
 
 func (n *Network) allIdle() bool {

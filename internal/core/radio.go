@@ -6,6 +6,7 @@ import (
 	"math"
 	"math/rand"
 
+	"waggle/internal/detrand"
 	"waggle/internal/obs"
 )
 
@@ -27,8 +28,13 @@ type RadioMessage struct {
 // Senders learn about losses synchronously, modelling an acknowledgement
 // timeout.
 type Radio struct {
-	n      int
-	rng    *rand.Rand
+	n   int
+	rng *rand.Rand
+	// src counts the jam stream's draws so checkpoints can capture the
+	// stream position as (seed, draws). It wraps the same seeded source
+	// used before it existed: the stream is byte-identical.
+	src    *detrand.CountingSource
+	seed   int64
 	broken []bool
 	// JamProb is the probability that any single transmission is lost to
 	// interference.
@@ -48,9 +54,12 @@ type Radio struct {
 // NewRadio creates a radio network for n robots with the given fault
 // seed.
 func NewRadio(n int, seed int64) *Radio {
+	src, rng := detrand.New(seed)
 	return &Radio{
 		n:       n,
-		rng:     rand.New(rand.NewSource(seed)),
+		rng:     rng,
+		src:     src,
+		seed:    seed,
 		broken:  make([]bool, n),
 		inboxes: make([][]RadioMessage, n),
 	}
@@ -154,6 +163,61 @@ func (r *Radio) SetJamming(p float64) error {
 // Stats returns (sent, delivered, lost) counters.
 func (r *Radio) Stats() (sent, delivered, lost int) {
 	return r.sent, r.delivered, r.lost
+}
+
+// RadioSnapshot is the checkpointable state of a Radio: the jam-stream
+// position as (seed, draws), the per-robot transmitter faults, the
+// undrained inboxes, and the statistics counters.
+type RadioSnapshot struct {
+	N         int
+	Seed      int64
+	Draws     uint64
+	JamProb   float64
+	Broken    []bool
+	Inboxes   [][]RadioMessage
+	Sent      int
+	Lost      int
+	Delivered int
+}
+
+// Snapshot captures the radio's complete deterministic state. All
+// slices (and message payloads) are deep copies.
+func (r *Radio) Snapshot() RadioSnapshot {
+	s := RadioSnapshot{
+		N:         r.n,
+		Seed:      r.seed,
+		JamProb:   r.JamProb,
+		Broken:    append([]bool(nil), r.broken...),
+		Inboxes:   make([][]RadioMessage, len(r.inboxes)),
+		Sent:      r.sent,
+		Lost:      r.lost,
+		Delivered: r.delivered,
+	}
+	if r.src != nil {
+		s.Draws = r.src.Draws()
+	}
+	for i, box := range r.inboxes {
+		if box == nil {
+			continue
+		}
+		msgs := make([]RadioMessage, len(box))
+		for j, m := range box {
+			msgs[j] = RadioMessage{From: m.From, To: m.To, Payload: append([]byte(nil), m.Payload...)}
+		}
+		s.Inboxes[i] = msgs
+	}
+	return s
+}
+
+// Seed returns the seed the jam stream was created with.
+func (r *Radio) Seed() int64 { return r.seed }
+
+// Draws returns how many jam-stream values have been drawn.
+func (r *Radio) Draws() uint64 {
+	if r.src == nil {
+		return 0
+	}
+	return r.src.Draws()
 }
 
 // BackupMessenger — the paper's fault-tolerance application of movement

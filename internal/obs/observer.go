@@ -136,3 +136,12 @@ func (o *Observer) TraceDropped() int64 {
 	}
 	return o.ring.Dropped()
 }
+
+// TraceCapacity returns the ring's retention depth (nil observer: 0),
+// so a checkpoint can rebuild an observer with an identical ring.
+func (o *Observer) TraceCapacity() int {
+	if o == nil {
+		return 0
+	}
+	return o.ring.Capacity()
+}

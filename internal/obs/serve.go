@@ -1,0 +1,51 @@
+package obs
+
+import (
+	"context"
+	"net"
+	"net/http"
+	"time"
+)
+
+// Timeouts of the introspection server. The endpoint serves small,
+// locally generated responses, so the limits are tight: a client that
+// cannot send its request header within ReadHeaderTimeout is a
+// slowloris, not a slow link.
+const (
+	ServeReadHeaderTimeout = 5 * time.Second
+	ServeReadTimeout       = 10 * time.Second
+	ServeWriteTimeout      = 10 * time.Second
+	ServeIdleTimeout       = 60 * time.Second
+	// ServeShutdownGrace bounds how long Stop waits for in-flight
+	// requests before cutting them off.
+	ServeShutdownGrace = 3 * time.Second
+)
+
+// Serve starts an HTTP introspection server for h on addr in the
+// background and returns the bound address (so ":0" is usable in
+// scripts and tests) and a stop function. The server is hardened
+// against slow clients — header, read, write and idle timeouts are all
+// set — and stop drains in-flight requests gracefully for up to
+// ServeShutdownGrace before closing remaining connections.
+func Serve(addr string, h http.Handler) (net.Addr, func(), error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, nil, err
+	}
+	srv := &http.Server{
+		Handler:           h,
+		ReadHeaderTimeout: ServeReadHeaderTimeout,
+		ReadTimeout:       ServeReadTimeout,
+		WriteTimeout:      ServeWriteTimeout,
+		IdleTimeout:       ServeIdleTimeout,
+	}
+	go func() { _ = srv.Serve(ln) }()
+	stop := func() {
+		ctx, cancel := context.WithTimeout(context.Background(), ServeShutdownGrace)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			_ = srv.Close()
+		}
+	}
+	return ln.Addr(), stop, nil
+}

@@ -170,6 +170,13 @@ func (r *Ring) Append(e Event) {
 	r.mu.Unlock()
 }
 
+// Capacity returns how many events the ring retains.
+func (r *Ring) Capacity() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.buf)
+}
+
 // Dropped returns how many events have been overwritten.
 func (r *Ring) Dropped() int64 {
 	r.mu.Lock()

@@ -1,6 +1,10 @@
 package sim
 
-import "math/rand"
+import (
+	"math/rand"
+
+	"waggle/internal/detrand"
+)
 
 // Scheduler decides which robots are active at each instant. The model
 // requires every returned set to be non-empty, and every fair scheduler
@@ -42,6 +46,11 @@ var _ Scheduler = RoundRobin{}
 // paper's "uniform fair scheduler".
 type RandomFair struct {
 	rng *rand.Rand
+	// src counts the activation stream's draws, so checkpoints can
+	// capture the stream position and verify it after a replay. It wraps
+	// the exact source rng used before it existed: the stream is
+	// byte-identical.
+	src *detrand.CountingSource
 	// P is the per-robot activation probability (default 0.5).
 	P float64
 	// MaxLag forcibly activates any robot idle that long (default 64).
@@ -58,7 +67,8 @@ const DefaultRandomFairSeed int64 = 1
 
 // NewRandomFair returns a seeded random fair scheduler.
 func NewRandomFair(seed int64) *RandomFair {
-	return &RandomFair{rng: rand.New(rand.NewSource(seed)), P: 0.5, MaxLag: 64}
+	src, rng := detrand.New(seed)
+	return &RandomFair{rng: rng, src: src, P: 0.5, MaxLag: 64}
 }
 
 // Next implements Scheduler.
@@ -66,7 +76,7 @@ func (s *RandomFair) Next(_, n int) []int {
 	if s.rng == nil {
 		// Zero-value scheduler: fall back to the documented default
 		// seed rather than an arbitrary constant buried here.
-		s.rng = rand.New(rand.NewSource(DefaultRandomFairSeed))
+		s.src, s.rng = detrand.New(DefaultRandomFairSeed)
 	}
 	p := s.P
 	if p <= 0 || p > 1 {
@@ -100,6 +110,20 @@ func (s *RandomFair) Next(_, n int) []int {
 		s.idle[i] = 0
 	}
 	return out
+}
+
+// StreamState reports the scheduler's activation-stream position and
+// per-robot lag debts, for checkpoint capture and post-replay
+// verification. The idle slice is a copy; a nil rng (zero value never
+// stepped) reports zero draws and nil idle.
+func (s *RandomFair) StreamState() (draws uint64, idle []int) {
+	if s.src != nil {
+		draws = s.src.Draws()
+	}
+	if s.idle != nil {
+		idle = append([]int(nil), s.idle...)
+	}
+	return draws, idle
 }
 
 var _ Scheduler = (*RandomFair)(nil)

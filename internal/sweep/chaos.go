@@ -345,11 +345,35 @@ func RunChaosScenarioObserved(sc ChaosScenario, engine waggle.EngineMode, trace 
 	return res, nil
 }
 
-func runChaos(sc ChaosScenario, engine waggle.EngineMode, trace bool, obsv *waggle.Observer) (*ChaosResult, error) {
+// chaosMsg tracks one scheduled send through the run.
+type chaosMsg struct {
+	send                ChaosSend
+	sentAt, deliveredAt int
+}
+
+// chaosRun is the live state of a scenario being driven: the swarm
+// stack plus the harness-side message ledger and delivery cursor. It is
+// the unit of kill-and-resume: the stack can be swapped for a restored
+// one mid-run (the ledger and cursor are harness state, reconstructed
+// identically because the restored stack reports identical deliveries).
+type chaosRun struct {
+	sc    ChaosScenario
+	trace bool
+	s      *waggle.Swarm
+	bm     *waggle.BackupMessenger
+	radio  *waggle.Radio
+	msgs   []chaosMsg
+	cursor int
+	done   bool
+}
+
+func (r *chaosRun) fail(err error) error {
+	return fmt.Errorf("chaos %s: %w", r.sc.Name, err)
+}
+
+func newChaosRun(sc ChaosScenario, engine waggle.EngineMode, trace bool, obsv *waggle.Observer) (*chaosRun, error) {
 	n := len(sc.Positions)
-	fail := func(err error) (*ChaosResult, error) {
-		return nil, fmt.Errorf("chaos %s: %w", sc.Name, err)
-	}
+	r := &chaosRun{sc: sc, trace: trace}
 	opts := []waggle.Option{waggle.WithSeed(sc.Seed), waggle.WithEngine(engine)}
 	if obsv != nil {
 		opts = append(opts, waggle.WithObserver(obsv))
@@ -363,145 +387,212 @@ func runChaos(sc ChaosScenario, engine waggle.EngineMode, trace bool, obsv *wagg
 	if trace {
 		opts = append(opts, waggle.WithTrace())
 	}
-	var radio *waggle.Radio
 	if sc.Radio {
-		radio = waggle.NewRadio(n, sc.Seed^0x7AD10)
-		opts = append(opts, waggle.WithFaultRadio(radio))
+		r.radio = waggle.NewRadio(n, sc.Seed^0x7AD10)
+		opts = append(opts, waggle.WithFaultRadio(r.radio))
 	}
 	if len(sc.Plan.Events) > 0 {
 		opts = append(opts, waggle.WithFaultPlan(sc.Plan))
 	}
 	s, err := waggle.NewSwarm(sc.Positions, opts...)
 	if err != nil {
-		return fail(err)
+		return nil, r.fail(err)
 	}
-	var bm *waggle.BackupMessenger
+	r.s = s
 	if sc.Radio {
-		if bm, err = waggle.NewBackupMessenger(radio, s); err != nil {
-			return fail(err)
+		if r.bm, err = waggle.NewBackupMessenger(r.radio, s); err != nil {
+			return nil, r.fail(err)
 		}
-		if err := bm.SetPolicy(waggle.DefaultMessengerPolicy()); err != nil {
-			return fail(err)
+		if err := r.bm.SetPolicy(waggle.DefaultMessengerPolicy()); err != nil {
+			return nil, r.fail(err)
 		}
 	}
-
-	type msgState struct {
-		send                ChaosSend
-		sentAt, deliveredAt int
-	}
-	msgs := make([]msgState, len(sc.Sends))
+	r.msgs = make([]chaosMsg, len(sc.Sends))
 	for i, m := range sc.Sends {
-		msgs[i] = msgState{send: m, sentAt: -1, deliveredAt: -1}
+		r.msgs[i] = chaosMsg{send: m, sentAt: -1, deliveredAt: -1}
 	}
-	// match attributes a delivery (or radio receipt) to the oldest
-	// outstanding submission with the same route and tag; decoded
-	// garbage matches nothing and is simply not counted.
-	match := func(from, to int, payload []byte, now int) {
-		if len(payload) != 1 {
+	return r, nil
+}
+
+// match attributes a delivery (or radio receipt) to the oldest
+// outstanding submission with the same route and tag; decoded garbage
+// matches nothing and is simply not counted.
+func (r *chaosRun) match(from, to int, payload []byte, now int) {
+	if len(payload) != 1 {
+		return
+	}
+	for k := range r.msgs {
+		m := &r.msgs[k]
+		if m.sentAt >= 0 && m.deliveredAt < 0 &&
+			m.send.From == from && m.send.To == to && m.send.Tag == payload[0] {
+			m.deliveredAt = now
 			return
 		}
-		for k := range msgs {
-			m := &msgs[k]
-			if m.sentAt >= 0 && m.deliveredAt < 0 &&
-				m.send.From == from && m.send.To == to && m.send.Tag == payload[0] {
-				m.deliveredAt = now
-				return
-			}
-		}
 	}
+}
 
-	cursor := 0
-	for t := 0; t < sc.Budget; t++ {
-		for k := range msgs {
-			m := &msgs[k]
+// drive runs instants [from, until), submitting scheduled sends,
+// stepping the stack and attributing deliveries, stopping early once
+// every message is accounted for. It may be called again (with a later
+// window, against a restored stack) to continue an interrupted run.
+func (r *chaosRun) drive(from, until int) error {
+	if r.done {
+		return nil
+	}
+	n := len(r.sc.Positions)
+	for t := from; t < until; t++ {
+		var err error
+		for k := range r.msgs {
+			m := &r.msgs[k]
 			if m.send.At != t {
 				continue
 			}
 			m.sentAt = t
 			payload := []byte{m.send.Tag}
-			if bm != nil {
-				err = bm.Send(m.send.From, m.send.To, payload)
+			if r.bm != nil {
+				err = r.bm.Send(m.send.From, m.send.To, payload)
 			} else {
-				err = s.Send(m.send.From, m.send.To, payload)
+				err = r.s.Send(m.send.From, m.send.To, payload)
 			}
 			if err != nil {
-				return fail(err)
+				return r.fail(err)
 			}
 		}
-		if bm != nil {
-			err = bm.Step()
+		if r.bm != nil {
+			err = r.bm.Step()
 		} else {
-			err = s.Step()
+			err = r.s.Step()
 		}
 		if err != nil {
-			return fail(err)
+			return r.fail(err)
 		}
-		now := s.Time()
-		if radio != nil {
+		now := r.s.Time()
+		if r.radio != nil {
 			for i := 0; i < n; i++ {
-				for _, rm := range radio.Receive(i) {
-					match(rm.From, rm.To, rm.Payload, now)
+				for _, rm := range r.radio.Receive(i) {
+					r.match(rm.From, rm.To, rm.Payload, now)
 				}
 			}
 		}
-		all := s.Delivered()
-		for ; cursor < len(all); cursor++ {
-			d := all[cursor]
-			match(d.From, d.To, d.Payload, now)
+		// The cursor over the delivery log is harness state; it stays
+		// valid across a kill-and-resume because the restored stack
+		// rebuilds the identical log.
+		all := r.s.Delivered()
+		for ; r.cursor < len(all); r.cursor++ {
+			d := all[r.cursor]
+			r.match(d.From, d.To, d.Payload, now)
 		}
-		done := true
-		for k := range msgs {
-			if msgs[k].sentAt < 0 || msgs[k].deliveredAt < 0 {
-				done = false
+		r.done = true
+		for k := range r.msgs {
+			if r.msgs[k].sentAt < 0 || r.msgs[k].deliveredAt < 0 {
+				r.done = false
 				break
 			}
 		}
-		if done {
+		if r.done {
 			break
 		}
 	}
+	return nil
+}
 
-	proto := s.Protocol().String()
-	if sc.Epoch > 0 {
-		proto = fmt.Sprintf("%s+stab(%d)", proto, sc.Epoch)
+// result summarizes the run into the reported row.
+func (r *chaosRun) result() (*ChaosResult, error) {
+	proto := r.s.Protocol().String()
+	if r.sc.Epoch > 0 {
+		proto = fmt.Sprintf("%s+stab(%d)", proto, r.sc.Epoch)
 	}
 	res := &ChaosResult{
-		Scenario: sc.Name, Family: sc.Family, Protocol: proto,
-		Sent: len(msgs), StepsToRecover: -1,
+		Scenario: r.sc.Name, Family: r.sc.Family, Protocol: proto,
+		Sent: len(r.msgs), StepsToRecover: -1,
 	}
 	var latency float64
-	for k := range msgs {
-		m := &msgs[k]
+	for k := range r.msgs {
+		m := &r.msgs[k]
 		if m.deliveredAt < 0 {
 			continue
 		}
 		res.Delivered++
 		latency += float64(m.deliveredAt - m.sentAt)
 		if m.send.Post {
-			r := m.deliveredAt - sc.FaultEnd
-			if res.StepsToRecover < 0 || r < res.StepsToRecover {
-				res.StepsToRecover = r
+			rec := m.deliveredAt - r.sc.FaultEnd
+			if res.StepsToRecover < 0 || rec < res.StepsToRecover {
+				res.StepsToRecover = rec
 			}
 		}
 	}
 	if res.Delivered > 0 {
 		res.MeanLatency = latency / float64(res.Delivered)
 	}
-	if bm != nil {
-		st := bm.DetailedStats()
+	if r.bm != nil {
+		st := r.bm.DetailedStats()
 		res.Retries = st.Retries
 		res.Failovers = st.Failovers
 		res.Failbacks = st.Failbacks
 		res.ImplicitAcks = st.ImplicitAcks
 	}
-	if trace {
+	if r.trace {
 		var buf bytes.Buffer
-		if err := s.WriteTraceCSV(&buf); err != nil {
-			return fail(err)
+		if err := r.s.WriteTraceCSV(&buf); err != nil {
+			return nil, r.fail(err)
 		}
 		res.TraceCSV = buf.String()
 	}
 	return res, nil
+}
+
+func runChaos(sc ChaosScenario, engine waggle.EngineMode, trace bool, obsv *waggle.Observer) (*ChaosResult, error) {
+	r, err := newChaosRun(sc, engine, trace, obsv)
+	if err != nil {
+		return nil, err
+	}
+	if err := r.drive(0, sc.Budget); err != nil {
+		return nil, err
+	}
+	return r.result()
+}
+
+// RunChaosScenarioResumed executes a scenario with a simulated process
+// death at instant killAt: the whole stack (swarm, radio, messenger) is
+// checkpointed, serialized through the wire format, discarded, restored
+// from the bytes, and the run continues on the restored stack. The
+// result — including the byte-identical movement trace — must equal
+// RunChaosScenario's; the chaos determinism tests and waggle-chaos
+// -resume-check enforce exactly that.
+func RunChaosScenarioResumed(sc ChaosScenario, engine waggle.EngineMode, killAt int) (*ChaosResult, error) {
+	if killAt < 0 || killAt > sc.Budget {
+		return nil, fmt.Errorf("chaos %s: kill instant %d outside run budget %d", sc.Name, killAt, sc.Budget)
+	}
+	r, err := newChaosRun(sc, engine, true, nil)
+	if err != nil {
+		return nil, err
+	}
+	if err := r.drive(0, killAt); err != nil {
+		return nil, err
+	}
+	if !r.done {
+		ck, err := r.s.Checkpoint()
+		if err != nil {
+			return nil, r.fail(err)
+		}
+		var wire bytes.Buffer
+		if err := waggle.WriteCheckpoint(&wire, ck); err != nil {
+			return nil, r.fail(err)
+		}
+		loaded, err := waggle.ReadCheckpoint(&wire)
+		if err != nil {
+			return nil, r.fail(err)
+		}
+		res, err := waggle.Restore(loaded, waggle.RestoreWithEngine(engine))
+		if err != nil {
+			return nil, r.fail(err)
+		}
+		r.s, r.radio, r.bm = res.Swarm, res.Radio, res.Messenger
+	}
+	if err := r.drive(killAt, sc.Budget); err != nil {
+		return nil, err
+	}
+	return r.result()
 }
 
 // ChaosTable runs every scenario and formats the report.

@@ -155,3 +155,41 @@ func TestChaosRegistry(t *testing.T) {
 		t.Error("empty chaos table from the registry")
 	}
 }
+
+// TestChaosKillAndResume is the checkpoint acceptance check at the
+// chaos level: killing the whole stack mid-plan — inside active fault
+// windows, with messenger retries in flight — serializing it, and
+// resuming from the bytes must reproduce the uninterrupted run
+// byte-for-byte, trace included, under both engines.
+func TestChaosKillAndResume(t *testing.T) {
+	for _, tc := range []struct {
+		scenario string
+		killAt   int
+	}{
+		{"radio-outage", 200}, // mid-outage, retries pending
+		{"combined", 150},     // crash + outage + ramp all active
+		{"crash-sync", 120},   // no radio: swarm-only restore path
+	} {
+		for _, engine := range []waggle.EngineMode{waggle.EngineSequential, waggle.EngineParallel} {
+			sc, err := FindChaosScenario(tc.scenario, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, err := RunChaosScenario(sc, engine, true)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := RunChaosScenarioResumed(sc, engine, tc.killAt)
+			if err != nil {
+				t.Fatalf("%s killAt=%d: %v", tc.scenario, tc.killAt, err)
+			}
+			if got.TraceCSV == "" || got.TraceCSV != want.TraceCSV {
+				t.Errorf("%s (engine %v): resumed trace differs from uninterrupted run", tc.scenario, engine)
+			}
+			got.TraceCSV, want.TraceCSV = "", ""
+			if !reflect.DeepEqual(got, want) {
+				t.Errorf("%s (engine %v): resumed report differs:\n%+v\nvs\n%+v", tc.scenario, engine, got, want)
+			}
+		}
+	}
+}

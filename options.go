@@ -70,6 +70,7 @@ type options struct {
 	faultPlan        *FaultPlan
 	faultRadio       *Radio
 	observer         *Observer
+	restore          *Checkpoint
 }
 
 func defaultOptions() options {
@@ -184,6 +185,18 @@ func WithScheduler(kind SchedulerKind) Option {
 // lag bound. Only meaningful for asynchronous swarms.
 func WithActivationProbability(p float64) Option {
 	return optionFunc(func(o *options) { o.activationProb = p })
+}
+
+// WithRestore resumes the swarm being built from a checkpoint instead
+// of starting at instant 0. The other options (and positions) passed to
+// NewSwarm must describe the same swarm the checkpoint was captured
+// from — NewSwarm verifies this (engine mode excepted, since the engine
+// never changes the computed execution) and fails with
+// ErrRestoreConfig on any mismatch. Checkpoints that couple a
+// BackupMessenger cannot be restored through NewSwarm (it has no way to
+// return the messenger); use Restore for those.
+func WithRestore(ck *Checkpoint) Option {
+	return optionFunc(func(o *options) { o.restore = ck })
 }
 
 // WithStarver selects the adversarial scheduler delaying the given robot

@@ -3,6 +3,7 @@ package waggle
 import (
 	"errors"
 
+	"waggle/internal/ckpt"
 	"waggle/internal/core"
 )
 
@@ -15,43 +16,88 @@ var ErrRadioFailed = core.ErrRadioFailed
 // movement signalling as a communication backup (§1).
 type Radio struct {
 	inner *core.Radio
+	n     int
+	seed  int64
+	// rec is the replay log this radio records into. A free-standing
+	// radio records into its own log from birth; coupling it to a swarm
+	// (WithFaultRadio, NewBackupMessenger) splices that log into the
+	// swarm's so the checkpoint replays pre-coupling setup calls
+	// (Break, SetJamming, …) in order.
+	rec *ckpt.Recorder
 }
 
 // NewRadio creates a radio network for n robots; seed drives the
 // jamming randomness.
 func NewRadio(n int, seed int64) *Radio {
-	return &Radio{inner: core.NewRadio(n, seed)}
+	return &Radio{inner: core.NewRadio(n, seed), n: n, seed: seed, rec: ckpt.NewRecorder()}
+}
+
+// attachRecorder splices this radio's log into rec and records there
+// from now on. Coupling the same radio to a second swarm moves the log
+// — checkpointing supports one swarm per radio.
+func (r *Radio) attachRecorder(rec *ckpt.Recorder) {
+	if r.rec == rec {
+		return
+	}
+	rec.AbsorbFrom(r.rec)
+	r.rec = rec
 }
 
 // SetJamming sets the probability that any single transmission is lost
 // to interference. NaN and values outside [0,1] are rejected instead of
 // silently behaving as always-lose or never-lose.
-func (r *Radio) SetJamming(p float64) error { return r.inner.SetJamming(p) }
+func (r *Radio) SetJamming(p float64) error {
+	err := r.inner.SetJamming(p)
+	if err == nil {
+		r.rec.Record(ckpt.Input{Op: ckpt.OpRadioJam, P: p})
+	}
+	return err
+}
 
 // JamProb returns the current jamming probability.
 func (r *Radio) JamProb() float64 { return r.inner.JamProb }
 
 // Break permanently disables robot i's transmitter. Out-of-range
 // indices are reported as an error, matching Send.
-func (r *Radio) Break(i int) error { return r.inner.Break(i) }
+func (r *Radio) Break(i int) error {
+	err := r.inner.Break(i)
+	if err == nil {
+		r.rec.Record(ckpt.Input{Op: ckpt.OpRadioBreak, From: i})
+	}
+	return err
+}
 
 // Repair restores robot i's transmitter. Out-of-range indices are
 // reported as an error, matching Send.
-func (r *Radio) Repair(i int) error { return r.inner.Repair(i) }
+func (r *Radio) Repair(i int) error {
+	err := r.inner.Repair(i)
+	if err == nil {
+		r.rec.Record(ckpt.Input{Op: ckpt.OpRadioRepair, From: i})
+	}
+	return err
+}
 
 // Broken reports whether robot i's transmitter is out of order;
 // out-of-range indices report false.
 func (r *Radio) Broken(i int) bool { return r.inner.Broken(i) }
 
 // Send transmits a message over the radio, returning ErrRadioFailed when
-// it is lost.
+// it is lost. Lost transmissions are still recorded for checkpoint
+// replay: a jammed send consumed a draw of the jam stream, and a
+// resumed run must consume it too.
 func (r *Radio) Send(from, to int, payload []byte) error {
-	return r.inner.Send(from, to, payload)
+	err := r.inner.Send(from, to, payload)
+	if err == nil || errors.Is(err, ErrRadioFailed) {
+		r.rec.Record(ckpt.Input{Op: ckpt.OpRadioSend, From: from, To: to, Payload: payload})
+	}
+	return err
 }
 
-// Receive drains robot i's radio inbox.
+// Receive drains robot i's radio inbox. Draining mutates state, so it
+// is recorded for checkpoint replay like any send.
 func (r *Radio) Receive(i int) []Message {
 	msgs := r.inner.Receive(i)
+	r.rec.Record(ckpt.Input{Op: ckpt.OpRadioRecv, From: i})
 	out := make([]Message, len(msgs))
 	for j, m := range msgs {
 		out[j] = Message{From: m.From, To: m.To, Payload: m.Payload}
@@ -99,9 +145,13 @@ func DefaultMessengerPolicy() MessengerPolicy { return core.DefaultMessengerPoli
 type BackupMessenger struct {
 	inner *core.BackupMessenger
 	swarm *Swarm
+	rec   *ckpt.Recorder
 }
 
-// NewBackupMessenger couples a radio with a swarm of the same size.
+// NewBackupMessenger couples a radio with a swarm of the same size. The
+// coupling registers both with the swarm's checkpoint machinery: a
+// checkpoint of the swarm captures the radio and messenger state too,
+// and Restore rebuilds all three.
 func NewBackupMessenger(radio *Radio, swarm *Swarm) (*BackupMessenger, error) {
 	if radio == nil || swarm == nil {
 		return nil, errors.New("waggle: nil radio or swarm")
@@ -110,28 +160,56 @@ func NewBackupMessenger(radio *Radio, swarm *Swarm) (*BackupMessenger, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &BackupMessenger{inner: inner, swarm: swarm}, nil
+	radio.attachRecorder(swarm.rec)
+	b := &BackupMessenger{inner: inner, swarm: swarm, rec: swarm.rec}
+	swarm.radio = radio
+	swarm.messenger = b
+	return b, nil
 }
 
 // Send delivers the message over the radio if possible, otherwise
 // queues it on the movement channel; drive the swarm (Step /
 // RunUntil...) to complete movement deliveries.
 func (b *BackupMessenger) Send(from, to int, payload []byte) error {
-	return b.inner.Send(from, to, payload)
+	err := b.inner.Send(from, to, payload)
+	if err == nil {
+		b.rec.Record(ckpt.Input{T: b.swarm.Time(), Op: ckpt.OpMsgSend, From: from, To: to, Payload: payload})
+	}
+	return err
 }
 
 // SetPolicy enables self-healing with the given policy. Call it before
 // any traffic.
-func (b *BackupMessenger) SetPolicy(p MessengerPolicy) error { return b.inner.SetPolicy(p) }
+func (b *BackupMessenger) SetPolicy(p MessengerPolicy) error {
+	err := b.inner.SetPolicy(p)
+	if err == nil {
+		b.rec.Record(ckpt.Input{T: b.swarm.Time(), Op: ckpt.OpMsgPolicy, Policy: &ckpt.PolicyConfig{
+			MaxRetries: p.MaxRetries, Backoff: p.Backoff, Deadline: p.Deadline, ProbeEvery: p.ProbeEvery,
+		}})
+	}
+	return err
+}
 
 // Tick runs one instant of self-healing bookkeeping (due retries,
 // deadline failovers, implicit-acknowledgement detection). Call once
 // per simulation step when driving the swarm directly; Step and
 // RunUntilSettled do it for you.
-func (b *BackupMessenger) Tick() error { return b.inner.Tick() }
+func (b *BackupMessenger) Tick() error {
+	err := b.inner.Tick()
+	if err == nil {
+		b.rec.Record(ckpt.Input{T: b.swarm.Time(), Op: ckpt.OpMsgTick})
+	}
+	return err
+}
 
 // Step advances the swarm one instant and ticks the messenger.
-func (b *BackupMessenger) Step() error { return b.inner.Step() }
+func (b *BackupMessenger) Step() error {
+	err := b.inner.Step()
+	if err == nil {
+		b.rec.Record(ckpt.Input{T: b.swarm.Time(), Op: ckpt.OpMsgStep})
+	}
+	return err
+}
 
 // Settled reports whether nothing is outstanding: no pending retries,
 // no unacknowledged failovers, and an idle movement channel.
@@ -139,9 +217,15 @@ func (b *BackupMessenger) Settled() bool { return b.inner.Settled() }
 
 // RunUntilSettled steps the swarm (ticking per instant) until the
 // messenger is settled or the budget runs out, returning the number of
-// instants executed.
+// instants executed. A budget-exhausted run is still recorded for
+// checkpoint replay — it stepped the world.
 func (b *BackupMessenger) RunUntilSettled(maxSteps int) (int, error) {
-	return b.inner.RunUntilSettled(maxSteps)
+	t := b.swarm.Time()
+	steps, err := b.inner.RunUntilSettled(maxSteps)
+	if err == nil || errors.Is(err, ErrNotDelivered) {
+		b.rec.Record(ckpt.Input{T: t, Op: ckpt.OpMsgRun, Max: maxSteps})
+	}
+	return steps, err
 }
 
 // Health returns the channel robot i's traffic currently uses.

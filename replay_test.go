@@ -1,0 +1,108 @@
+package waggle
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update-golden", false, "regenerate testdata/golden.ckpt and testdata/golden.trace")
+
+const (
+	goldenCkptPath  = "testdata/golden.ckpt"
+	goldenTracePath = "testdata/golden.trace"
+)
+
+// goldenReplayStack builds the committed replay scenario: a four-robot
+// synchronous swarm under an active fault plan (crash, radio outage,
+// jamming ramp), a fault-coupled radio, and a self-healing messenger.
+// Everything is keyed by fixed seeds, so the execution is a constant of
+// the codebase.
+func goldenReplayStack(t *testing.T) faultedStack {
+	t.Helper()
+	return newFaultedStack(t, EngineSequential)
+}
+
+// goldenHead drives the scenario to the checkpoint instant — mid-plan,
+// with messenger retries in flight.
+func goldenHead(t *testing.T, st faultedStack) {
+	t.Helper()
+	faultedPhase1(t, st)
+}
+
+// goldenTail finishes the scenario from the checkpoint instant.
+func goldenTail(t *testing.T, st faultedStack) {
+	t.Helper()
+	faultedPhase2(t, st)
+}
+
+func goldenTrace(t *testing.T, st faultedStack) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := st.swarm.WriteTraceCSV(&buf); err != nil {
+		t.Fatalf("trace: %v", err)
+	}
+	return buf.Bytes()
+}
+
+// TestGoldenReplay is `make replay-check`: the committed checkpoint
+// artifact restores, replays, and — after running the scenario's tail
+// — reproduces the committed movement trace byte-for-byte. A failure
+// means the execution semantics drifted from what the artifact
+// recorded; regenerate with -update-golden only for intentional
+// protocol changes.
+func TestGoldenReplay(t *testing.T) {
+	if *updateGolden {
+		st := goldenReplayStack(t)
+		goldenHead(t, st)
+		ck, err := st.swarm.Checkpoint()
+		if err != nil {
+			t.Fatalf("checkpoint: %v", err)
+		}
+		if err := os.MkdirAll(filepath.Dir(goldenCkptPath), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := SaveCheckpoint(goldenCkptPath, ck); err != nil {
+			t.Fatalf("save: %v", err)
+		}
+		goldenTail(t, st)
+		if err := os.WriteFile(goldenTracePath, goldenTrace(t, st), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("golden artifacts regenerated: %s, %s", goldenCkptPath, goldenTracePath)
+		return
+	}
+
+	wantTrace, err := os.ReadFile(goldenTracePath)
+	if err != nil {
+		t.Fatalf("missing golden trace (run `go test -run TestGoldenReplay -update-golden .`): %v", err)
+	}
+
+	// The live scenario still produces the committed trace...
+	live := goldenReplayStack(t)
+	goldenHead(t, live)
+	goldenTail(t, live)
+	if got := goldenTrace(t, live); !bytes.Equal(got, wantTrace) {
+		t.Fatalf("live run diverged from the committed golden trace (%d vs %d bytes)", len(got), len(wantTrace))
+	}
+
+	// ...and so does the committed checkpoint, restored and resumed.
+	ck, err := LoadCheckpoint(goldenCkptPath)
+	if err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	res, err := Restore(ck)
+	if err != nil {
+		t.Fatalf("restore: %v", err)
+	}
+	if res.Radio == nil || res.Messenger == nil {
+		t.Fatal("golden checkpoint restored without its radio or messenger")
+	}
+	st := faultedStack{swarm: res.Swarm, radio: res.Radio, bm: res.Messenger}
+	goldenTail(t, st)
+	if got := goldenTrace(t, st); !bytes.Equal(got, wantTrace) {
+		t.Fatalf("resumed run diverged from the committed golden trace (%d vs %d bytes)", len(got), len(wantTrace))
+	}
+}

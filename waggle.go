@@ -29,6 +29,7 @@ import (
 	"fmt"
 	"io"
 
+	"waggle/internal/ckpt"
 	"waggle/internal/core"
 	"waggle/internal/fault"
 	"waggle/internal/geom"
@@ -94,10 +95,33 @@ type Swarm struct {
 	opts     options
 	n        int
 	protocol Protocol
+
+	// initial holds the construction positions and rec the ordered log
+	// of state-mutating API calls — together with opts they are the
+	// checkpoint's replayable image of this swarm (see Checkpoint).
+	initial []Point
+	rec     *ckpt.Recorder
+	// radio and messenger are the coupled fault-channel facades, if
+	// any; Checkpoint captures their state alongside the swarm's.
+	radio     *Radio
+	messenger *BackupMessenger
 }
 
 // ErrTooFewRobots is returned for swarms of fewer than two robots.
 var ErrTooFewRobots = errors.New("waggle: a swarm needs at least two robots")
+
+// ErrNotDelivered is returned by RunUntil* calls whose step budget ran
+// out before the condition held.
+var ErrNotDelivered = core.ErrNotDelivered
+
+// ErrInvalidBudget is returned by RunUntil* calls passed a negative
+// step or delivery budget (zero is legal: "check without stepping").
+var ErrInvalidBudget = core.ErrInvalidBudget
+
+// ErrCorruptCursor is returned when the delivery consumption cursor is
+// inconsistent with the delivered log — reachable only through a
+// corrupted checkpoint restore.
+var ErrCorruptCursor = core.ErrCorruptCursor
 
 // NewSwarm places the robots at the given positions and wires the
 // protocol selected by the options (asynchronous, anonymous, SEC naming,
@@ -106,12 +130,22 @@ var ErrTooFewRobots = errors.New("waggle: a swarm needs at least two robots")
 // rotation (aligned instead when sense of direction is enabled), random
 // scale, shared handedness.
 func NewSwarm(positions []Point, opts ...Option) (*Swarm, error) {
-	if len(positions) < 2 {
-		return nil, ErrTooFewRobots
-	}
 	o := defaultOptions()
 	for _, opt := range opts {
 		opt.apply(&o)
+	}
+	if o.restore != nil {
+		return newSwarmRestored(positions, o)
+	}
+	return newSwarm(positions, o)
+}
+
+// newSwarm builds a swarm from resolved options — the shared path of
+// NewSwarm and checkpoint restore (which rebuilds the options from the
+// checkpointed config).
+func newSwarm(positions []Point, o options) (*Swarm, error) {
+	if len(positions) < 2 {
+		return nil, ErrTooFewRobots
 	}
 	if err := validateOptions(o, len(positions)); err != nil {
 		return nil, err
@@ -193,7 +227,19 @@ func NewSwarm(positions []Point, opts ...Option) (*Swarm, error) {
 	if o.observer != nil {
 		net.SetObserver(o.observer.inner)
 	}
-	return &Swarm{net: net, opts: o, n: len(pts), protocol: proto}, nil
+	s := &Swarm{
+		net:      net,
+		opts:     o,
+		n:        len(pts),
+		protocol: proto,
+		initial:  append([]Point(nil), positions...),
+		rec:      ckpt.NewRecorder(),
+	}
+	if o.faultRadio != nil {
+		s.radio = o.faultRadio
+		s.radio.attachRecorder(s.rec)
+	}
+	return s, nil
 }
 
 // N returns the number of robots.
@@ -202,41 +248,82 @@ func (s *Swarm) N() int { return s.n }
 // Protocol returns the protocol the swarm runs.
 func (s *Swarm) Protocol() Protocol { return s.protocol }
 
+// record appends one input to the swarm's replay log. Every
+// state-mutating public API call records itself on success (and on the
+// in-band failures that still mutate state, like a budget-exhausted
+// run), so a checkpoint can replay the exact call sequence.
+func (s *Swarm) record(in ckpt.Input) {
+	in.T = s.net.World().Time()
+	s.rec.Record(in)
+}
+
 // Send queues a message from robot `from` to robot `to`.
 func (s *Swarm) Send(from, to int, payload []byte) error {
-	return s.net.Send(from, to, payload)
+	err := s.net.Send(from, to, payload)
+	if err == nil {
+		s.record(ckpt.Input{Op: ckpt.OpSend, From: from, To: to, Payload: payload})
+	}
+	return err
 }
 
 // Broadcast queues a message from robot `from` to every other robot as
 // n-1 separate unicasts (recipient-specific framing).
 func (s *Swarm) Broadcast(from int, payload []byte) error {
-	return s.net.Broadcast(from, payload)
+	err := s.net.Broadcast(from, payload)
+	if err == nil {
+		s.record(ckpt.Input{Op: ckpt.OpBroadcast, From: from, Payload: payload})
+	}
+	return err
 }
 
 // SendAll transmits one message from robot `from` to every other robot
 // in a single transmission on the sender's own diameter — the paper's
 // efficient one-to-all (§1). Cost: one frame instead of n-1.
 func (s *Swarm) SendAll(from int, payload []byte) error {
-	return s.net.SendAll(from, payload)
+	err := s.net.SendAll(from, payload)
+	if err == nil {
+		s.record(ckpt.Input{Op: ckpt.OpSendAll, From: from, Payload: payload})
+	}
+	return err
 }
 
 // Step advances the swarm by one time instant.
-func (s *Swarm) Step() error { return s.net.Step() }
+func (s *Swarm) Step() error {
+	err := s.net.Step()
+	if err == nil {
+		s.record(ckpt.Input{Op: ckpt.OpStep})
+	}
+	return err
+}
 
 // RunUntilDelivered advances the swarm until `count` undelivered-to-you
 // messages are available (or the step budget is exhausted), returning
 // them — oldest first, including any that arrived during an earlier run
-// but were never returned — and the number of instants executed.
+// but were never returned — and the number of instants executed. A zero
+// maxSteps checks without stepping; negative budgets fail with
+// ErrInvalidBudget.
 func (s *Swarm) RunUntilDelivered(count, maxSteps int) ([]Message, int, error) {
+	t := s.net.World().Time()
 	recs, steps, err := s.net.RunUntilDelivered(count, maxSteps)
+	if err == nil || errors.Is(err, ErrNotDelivered) {
+		// A budget-exhausted run still stepped the world; replay must
+		// repeat it. Pure validation failures mutated nothing.
+		s.rec.Record(ckpt.Input{T: t, Op: ckpt.OpRunDelivered, Count: count, Max: maxSteps})
+	}
 	return toMessages(recs), steps, err
 }
 
 // RunUntilQuiet advances the swarm until every robot has nothing queued
 // or in flight, returning every message not yet handed out by a
-// previous RunUntil* call plus those delivered during the run.
+// previous RunUntil* call plus those delivered during the run. A zero
+// maxSteps checks without stepping; negative budgets fail with
+// ErrInvalidBudget.
 func (s *Swarm) RunUntilQuiet(maxSteps int) ([]Message, int, error) {
+	t := s.net.World().Time()
 	recs, steps, err := s.net.RunUntilQuiet(maxSteps)
+	if err == nil || errors.Is(err, ErrNotDelivered) {
+		s.rec.Record(ckpt.Input{T: t, Op: ckpt.OpRunQuiet, Max: maxSteps})
+	}
 	return toMessages(recs), steps, err
 }
 
