@@ -4,9 +4,9 @@
 
 GO ?= go
 
-.PHONY: verify build vet test race bench bench-json bench-check chaos-check obs-check replay-check vulncheck
+.PHONY: verify build vet test race bench bench-json bench-check bench-step chaos-check obs-check replay-check vulncheck
 
-verify: build vet race chaos-check obs-check replay-check vulncheck
+verify: build vet race bench-check chaos-check obs-check replay-check vulncheck
 
 build:
 	$(GO) build ./...
@@ -30,13 +30,22 @@ bench:
 bench-json:
 	$(GO) run ./cmd/waggle-bench -out BENCH_spatial.json
 
+# Step-engine scaling run: full-step wall time at n up to 1,000,000 for
+# the structure-of-arrays engine, against the legacy dense-view engine
+# where it still fits in memory. Writes BENCH_step.json (schema
+# waggle-bench-step/v1; the scaling table in EXPERIMENTS.md).
+bench-step:
+	$(GO) run ./cmd/waggle-bench -step -out BENCH_step.json
+
 # Smoke gate for the benchmark trajectory: every in-package benchmark
 # compiles and runs one iteration, and every waggle-bench scenario body
-# executes once. Catches silently-empty bench suites without paying for
-# a full measurement run.
+# executes once — including the step-engine scaling bodies at tiny n.
+# Catches silently-empty bench suites without paying for a full
+# measurement run.
 bench-check:
 	$(GO) test -run xxx -bench . -benchtime 1x ./...
 	$(GO) run ./cmd/waggle-bench -smoke
+	$(GO) run ./cmd/waggle-bench -step -smoke
 
 # Chaos smoke: one fast scenario per fault family through the
 # fault-injection harness. The full table (EXPERIMENTS.md) is

@@ -8,6 +8,8 @@
 //	waggle-bench                      # full run, writes BENCH_spatial.json
 //	waggle-bench -out results.json    # full run, custom output path
 //	waggle-bench -smoke               # run every scenario body once, write nothing
+//	waggle-bench -step                # step-engine scaling run, writes BENCH_step.json
+//	waggle-bench -step -smoke         # tiny step-engine run, write nothing
 package main
 
 import (
@@ -51,9 +53,23 @@ type scenario struct {
 }
 
 func main() {
-	out := flag.String("out", "BENCH_spatial.json", "output JSON path")
+	out := flag.String("out", "", "output JSON path (default BENCH_spatial.json, or BENCH_step.json with -step)")
 	smoke := flag.Bool("smoke", false, "run each scenario body once and write nothing")
+	step := flag.Bool("step", false, "run the step-engine scaling benchmark instead of the spatial scenarios")
 	flag.Parse()
+	if *step {
+		if *out == "" {
+			*out = "BENCH_step.json"
+		}
+		if err := runStep(*out, *smoke); err != nil {
+			fmt.Fprintln(os.Stderr, "waggle-bench:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *out == "" {
+		*out = "BENCH_spatial.json"
+	}
 	if err := run(*out, *smoke); err != nil {
 		fmt.Fprintln(os.Stderr, "waggle-bench:", err)
 		os.Exit(1)

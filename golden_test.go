@@ -123,11 +123,11 @@ func TestRandomizedEndToEnd(t *testing.T) {
 	}
 }
 
-// TestGoldenEngineParity is the acceptance gate for the parallel step
-// engine: the same seed and scheduler must produce a byte-for-byte
+// TestGoldenEngineParity is the acceptance gate for the step-engine
+// modes: the same seed and scheduler must produce a byte-for-byte
 // identical execution — step count, every recorded move, every final
-// position — whether the moves are computed sequentially or over the
-// worker pool.
+// position — whether the moves are computed sequentially, over the
+// worker pool, or under EngineAuto's size-dependent dispatch.
 func TestGoldenEngineParity(t *testing.T) {
 	positions := []Point{{X: 0, Y: 0}, {X: 24, Y: 6}, {X: 10, Y: 28}, {X: 30, Y: 30}, {X: -20, Y: 14}, {X: 8, Y: -22}}
 	runWith := func(mode EngineMode) (*Swarm, int) {
@@ -152,24 +152,27 @@ func TestGoldenEngineParity(t *testing.T) {
 		return s, steps
 	}
 	seq, seqSteps := runWith(EngineSequential)
-	par, parSteps := runWith(EngineParallel)
-	if seqSteps != parSteps {
-		t.Fatalf("step counts diverged: sequential %d, parallel %d", seqSteps, parSteps)
-	}
-	p1, p2 := seq.Positions(), par.Positions()
-	for i := range p1 {
-		if p1[i] != p2[i] {
-			t.Errorf("robot %d final position diverged: %v vs %v", i, p1[i], p2[i])
-		}
-	}
-	var seqTrace, parTrace bytes.Buffer
+	var seqTrace bytes.Buffer
 	if err := seq.WriteTraceCSV(&seqTrace); err != nil {
 		t.Fatal(err)
 	}
-	if err := par.WriteTraceCSV(&parTrace); err != nil {
-		t.Fatal(err)
-	}
-	if !bytes.Equal(seqTrace.Bytes(), parTrace.Bytes()) {
-		t.Error("recorded traces differ between sequential and parallel engines")
+	for _, mode := range []EngineMode{EngineParallel, EngineAuto} {
+		other, otherSteps := runWith(mode)
+		if seqSteps != otherSteps {
+			t.Fatalf("step counts diverged: sequential %d, %v %d", seqSteps, mode, otherSteps)
+		}
+		p1, p2 := seq.Positions(), other.Positions()
+		for i := range p1 {
+			if p1[i] != p2[i] {
+				t.Errorf("%v: robot %d final position diverged: %v vs %v", mode, i, p1[i], p2[i])
+			}
+		}
+		var otherTrace bytes.Buffer
+		if err := other.WriteTraceCSV(&otherTrace); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(seqTrace.Bytes(), otherTrace.Bytes()) {
+			t.Errorf("recorded traces differ between sequential and %v engines", mode)
+		}
 	}
 }

@@ -209,7 +209,7 @@ func (r *asyncNRobot) Err() error { return r.cfgErr }
 
 func (r *asyncNRobot) initFrom(view sim.View) {
 	r.rk.init()
-	r.geo = buildSwarmGeometry(view, r.cfg.Naming, true, r.diametersOverride)
+	r.geo = buildSwarmGeometry(view, r.cfg.Naming, true, r.diametersOverride, r.endpoint.radiiCache())
 	r.cfgErr = r.geo.err
 	radius := r.geo.radii[view.Self]
 	r.amp = r.cfg.AmplitudeFrac * radius

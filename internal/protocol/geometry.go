@@ -48,13 +48,14 @@ type swarmGeometry struct {
 // recipient label l to diameter l+1; otherwise label l is on diameter l.
 // diameters overrides the diameter count (0 means the default: n, or
 // n+1 with κ) — the §5 bounded-slice protocol slices far fewer
-// diameters than robots.
-func buildSwarmGeometry(view sim.View, scheme Naming, extraKappa bool, diameters int) *swarmGeometry {
+// diameters than robots. cache, when non-nil, reuses radii work from
+// this robot's previous initialisations (bit-identical either way).
+func buildSwarmGeometry(view sim.View, scheme Naming, extraKappa bool, diameters int, cache *RadiiCache) *swarmGeometry {
 	n := view.N()
 	g := &swarmGeometry{
 		self:  view.Self,
 		p0:    append([]geom.Point(nil), view.Points...),
-		radii: granularRadii(view.Points),
+		radii: cache.Radii(view.Points),
 		kappa: extraKappa,
 	}
 	g.diameters = diameters

@@ -1,0 +1,84 @@
+package protocol
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"waggle/internal/geom"
+)
+
+// TestRadiiCacheMatchesDirect pins the RadiiCache contract: across
+// epoch-style reinitialisations over a drifting configuration —
+// including a static observer (pure incremental), a moved observer
+// (every local coordinate shifts, full fallback), coincidence-driven
+// zero radii, and a swarm-size change — every call is bit-identical to
+// the uncached granularRadii, and the returned slices are independent
+// copies.
+func TestRadiiCacheMatchesDirect(t *testing.T) {
+	for _, n := range []int{2, 16, 300} {
+		n := n
+		t.Run(fmt.Sprintf("n=%d", n), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(int64(61 + n)))
+			pts := make([]geom.Point, n)
+			for i := range pts {
+				pts[i] = geom.Pt(rng.Float64()*200, rng.Float64()*200)
+			}
+			var cache RadiiCache
+			check := func(stage string) []float64 {
+				t.Helper()
+				got := cache.Radii(pts)
+				want := granularRadii(pts)
+				if len(got) != len(want) {
+					t.Fatalf("%s: %d radii, want %d", stage, len(got), len(want))
+				}
+				for i := range want {
+					if got[i] != want[i] {
+						t.Fatalf("%s: radius %d = %v, want %v", stage, i, got[i], want[i])
+					}
+				}
+				return got
+			}
+			prev := check("initial")
+			for epoch := 0; epoch < 12; epoch++ {
+				switch epoch % 4 {
+				case 0: // few robots drift (static observer: incremental path)
+					for m := 0; m < n/10+1; m++ {
+						i := rng.Intn(n)
+						pts[i] = geom.Pt(pts[i].X+rng.NormFloat64(), pts[i].Y+rng.NormFloat64())
+					}
+				case 1: // observer moved: every local coordinate translates
+					dx, dy := rng.NormFloat64()*5, rng.NormFloat64()*5
+					for i := range pts {
+						pts[i] = geom.Pt(pts[i].X+dx, pts[i].Y+dy)
+					}
+				case 2: // coincidence: a zero radius appears
+					if n > 1 {
+						pts[rng.Intn(n)] = pts[rng.Intn(n)]
+					}
+				default: // nothing moved at all
+				}
+				got := check(fmt.Sprintf("epoch %d", epoch))
+				// The cache must hand out copies: mutating one epoch's
+				// slice must not corrupt the next (swarmGeometry retains
+				// its radii for the behavior's lifetime).
+				for i := range prev {
+					prev[i] = -1
+				}
+				prev = got
+			}
+			// A nil cache computes directly.
+			var nilCache *RadiiCache
+			got := nilCache.Radii(pts)
+			want := granularRadii(pts)
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("nil cache radius %d = %v, want %v", i, got[i], want[i])
+				}
+			}
+			// Swarm-size change falls back to the full path.
+			pts = append(pts, geom.Pt(-10, -10))
+			check("grown")
+		})
+	}
+}

@@ -158,7 +158,7 @@ func (r *syncNRobot) Err() error { return r.cfgErr }
 
 func (r *syncNRobot) initFrom(view sim.View) {
 	r.rk.init()
-	r.geo = buildSwarmGeometry(view, r.cfg.Naming, false, 0)
+	r.geo = buildSwarmGeometry(view, r.cfg.Naming, false, 0, r.endpoint.radiiCache())
 	r.cfgErr = r.geo.err
 	radius := r.geo.radii[view.Self]
 	r.amplitude = r.cfg.AmplitudeFrac * radius

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"runtime"
+	"slices"
 	"sync"
 	"sync/atomic"
 
@@ -27,7 +28,9 @@ const (
 	// EngineSequential computes every move on the calling goroutine.
 	EngineSequential
 	// EngineParallel always fans the compute phase out over a worker
-	// pool sized to GOMAXPROCS.
+	// pool sized to GOMAXPROCS, even for a single active robot, so the
+	// memory-visibility and recovery behavior is identical at every
+	// activation-set size.
 	EngineParallel
 )
 
@@ -53,11 +56,25 @@ const parallelMinActive = 32
 // viewScratch holds one robot's reusable view buffers. Each robot owns
 // exactly one scratch slot, so concurrent workers never share one; the
 // slices handed to Behavior.Step stay valid (and unchanging) until that
-// same robot's next activation.
+// same robot's next activation. The dense buffers (points/ids/visible)
+// and the compact buffers (cpts/cidx/cids) are independent: a robot in
+// compact mode never sizes the O(n) dense slices.
 type viewScratch struct {
 	points  []geom.Point
 	ids     []int
 	visible []bool
+
+	cpts []geom.Point
+	cidx []int
+	cids []int
+}
+
+// cellBatch holds one worker's reusable buffers for batched compact-view
+// construction: the active residents of the cell being processed and the
+// shared candidate superset of their sensor discs.
+type cellBatch struct {
+	residents []int32
+	cand      []int32
 }
 
 // SetEngine switches the step-engine mode. Safe between steps; the mode
@@ -67,26 +84,47 @@ func (w *World) SetEngine(m EngineMode) { w.engine = m }
 // Engine returns the current step-engine mode.
 func (w *World) Engine() EngineMode { return w.engine }
 
+// SetCompactViews switches limited-visibility robots to compact views:
+// View.Points holds only the robots inside the sensor disc (ascending by
+// robot index) and View.Indices maps slots back to robot indices, so a
+// step costs O(visible) per robot instead of O(n). Robots with unlimited
+// visibility keep dense views. Compact views change the View *shape* —
+// behaviors and injectors must consult Indices — so the switch is
+// opt-in; the visible *content* (which robots, their local positions) is
+// bit-identical to the dense view's visible set. Safe between steps.
+func (w *World) SetCompactViews(on bool) { w.compact = on }
+
+// CompactViews reports whether compact views are enabled.
+func (w *World) CompactViews() bool { return w.compact }
+
 // useParallel decides whether this instant's compute phase fans out.
 func (w *World) useParallel(activeLen int) bool {
 	switch w.engine {
 	case EngineSequential:
 		return false
 	case EngineParallel:
-		return activeLen > 1
+		// Always fan out, as documented: Step guarantees a non-empty
+		// activation set, so at least one worker runs.
+		return true
 	default:
 		return activeLen >= parallelMinActive && runtime.GOMAXPROCS(0) > 1
 	}
 }
 
 // computeMoves fills w.dests[k] / w.errs[k] with the destination of
-// active[k], either in place or over a worker pool. Workers pull
-// indices from an atomic counter (work stealing), but every result is
-// written to its own slot, so the outcome is independent of scheduling.
+// active[k], either in place or over a worker pool. Workers pull work
+// from an atomic counter (work stealing), but every result is written to
+// its own slot, so the outcome is independent of scheduling. Both the
+// sequential and the parallel path run behaviors under safeComputeMove,
+// so a panic surfaces as the same per-robot error in every mode.
 func (w *World) computeMoves(active []int) {
+	if w.compact && w.viewIndexActive {
+		w.computeMovesBatched(active)
+		return
+	}
 	if !w.useParallel(len(active)) {
 		for k, i := range active {
-			w.dests[k], w.errs[k] = w.computeMove(i)
+			w.dests[k], w.errs[k] = w.safeComputeMove(i)
 		}
 		return
 	}
@@ -112,9 +150,100 @@ func (w *World) computeMoves(active []int) {
 	wg.Wait()
 }
 
+// computeMovesBatched is the compact-view fast path: instead of one
+// grid-window walk per observer, workers claim grid cells, gather each
+// cell's candidate superset once (the window of the cell under its
+// residents' largest sensor radius), and build every active resident's
+// view by filtering that shared, sorted candidate list with the exact
+// sensor predicate — amortising the window walk and keeping the
+// frame transforms streaming over one cell's working set. Every
+// destination still lands in its own active slot, so the execution is
+// identical to the per-robot path in every engine mode.
+func (w *World) computeMovesBatched(active []int) {
+	for k, i := range active {
+		w.activeSlot[i] = int32(k)
+	}
+	cells := w.viewIndex.CellCount()
+	if !w.useParallel(len(active)) {
+		w.ensureCellScratch(1)
+		for c := 0; c < cells; c++ {
+			w.computeCell(c, &w.cellScratch[0])
+		}
+	} else {
+		workers := runtime.GOMAXPROCS(0)
+		if workers > len(active) {
+			workers = len(active)
+		}
+		w.ensureCellScratch(workers)
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		wg.Add(workers)
+		for wk := 0; wk < workers; wk++ {
+			sc := &w.cellScratch[wk]
+			go func() {
+				defer wg.Done()
+				for {
+					c := int(next.Add(1)) - 1
+					if c >= cells {
+						return
+					}
+					w.computeCell(c, sc)
+				}
+			}()
+		}
+		wg.Wait()
+	}
+	for _, i := range active {
+		w.activeSlot[i] = -1
+	}
+}
+
+// computeCell computes the moves of every active robot located in grid
+// cell c, sharing one candidate gather across them.
+func (w *World) computeCell(c int, sc *cellBatch) {
+	residents := sc.residents[:0]
+	rmax := 0.0
+	w.viewIndex.VisitCellMembers(c, func(j int32) {
+		if w.activeSlot[j] < 0 {
+			return
+		}
+		residents = append(residents, j)
+		if r := w.visRadii[j]; r > rmax {
+			rmax = r
+		}
+	})
+	sc.residents = residents
+	if len(residents) == 0 {
+		return
+	}
+	cand := w.viewIndex.AppendCellWindow(sc.cand[:0], c, rmax)
+	// Ascending candidate order makes the filtered compact views
+	// index-sorted, matching the per-robot construction bit-for-bit.
+	slices.Sort(cand)
+	sc.cand = cand
+	for _, j := range residents {
+		k := w.activeSlot[j]
+		if w.visRadii[j] <= 0 {
+			// Unlimited-visibility robot in a compact world: dense view.
+			w.dests[k], w.errs[k] = w.safeComputeMove(int(j))
+			continue
+		}
+		w.dests[k], w.errs[k] = w.safeComputeMoveFrom(int(j), cand)
+	}
+}
+
+// ensureCellScratch sizes the per-worker cell buffers, keeping warmed
+// capacity when the worker count grows.
+func (w *World) ensureCellScratch(workers int) {
+	if len(w.cellScratch) < workers {
+		w.cellScratch = append(w.cellScratch, make([]cellBatch, workers-len(w.cellScratch))...)
+	}
+}
+
 // safeComputeMove converts a behavior panic into an error: inside a
 // worker goroutine an unrecovered panic would kill the process without
-// unwinding the caller.
+// unwinding the caller, and the sequential path reports the identical
+// per-robot error so engine modes stay interchangeable.
 func (w *World) safeComputeMove(i int) (dest geom.Point, err error) {
 	defer func() {
 		if r := recover(); r != nil {
@@ -124,21 +253,52 @@ func (w *World) safeComputeMove(i int) (dest geom.Point, err error) {
 	return w.computeMove(i)
 }
 
+// safeComputeMoveFrom is safeComputeMove for the batched path: the view
+// is filtered from a shared sorted candidate superset.
+func (w *World) safeComputeMoveFrom(i int, cand []int32) (dest geom.Point, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("sim: robot %d behavior panicked: %v", i, r)
+		}
+	}()
+	snapshot := w.snapshot
+	sc := &w.scratch[i]
+	self := snapshot[i]
+	r := w.visRadii[i]
+	idx := sc.cidx[:0]
+	for _, j := range cand {
+		if self.Dist(snapshot[j]) <= r {
+			idx = append(idx, int(j))
+		}
+	}
+	sc.cidx = idx
+	if o := w.obs; o != nil {
+		o.Sim.ViewIndexViews.Inc()
+	}
+	return w.finishMove(i, w.finishCompact(i, idx, snapshot))
+}
+
 // computeMove runs robot i's observe–compute–clamp cycle against the
 // current snapshot. It touches only the snapshot (read-only during the
-// compute phase), robot i's scratch slot, and robot i's private state.
+// compute phase), the SoA mirrors (likewise read-only), robot i's
+// scratch slot, and robot i's private state.
 func (w *World) computeMove(i int) (geom.Point, error) {
-	r := w.robots[i]
-	view := w.localView(i, w.snapshot)
+	return w.finishMove(i, w.localView(i, w.snapshot))
+}
+
+// finishMove is the shared tail of the observe–compute–clamp cycle:
+// fault injection, the behavior step, and the finiteness and sigma
+// clamps, all against the SoA mirrors.
+func (w *World) finishMove(i int, view View) (geom.Point, error) {
 	if w.inject != nil {
 		// Observation faults (noise, dropped sightings). The hook runs
 		// concurrently under the parallel engine; injectors are
 		// deterministic per (time, observer), so the execution is
 		// engine-independent.
-		view = w.inject.PerturbView(w.time, i, r.Frame, view)
+		view = w.inject.PerturbView(w.time, i, w.frames[i], view)
 	}
-	localDest := r.Behavior.Step(view)
-	worldDest := r.Frame.ToWorld(localDest)
+	localDest := w.behaviors[i].Step(view)
+	worldDest := w.frames[i].ToWorld(localDest)
 	// Reject non-finite destinations before the sigma clamp: NaN
 	// survives the clamp (every comparison with NaN is false) and an
 	// infinite delta turns into NaN inside it, so either would silently
@@ -148,8 +308,8 @@ func (w *World) computeMove(i int) (geom.Point, error) {
 	}
 	// Clamp to the per-activation bound sigma.
 	delta := worldDest.Sub(w.snapshot[i])
-	if d := delta.Len(); d > r.Sigma {
-		worldDest = w.snapshot[i].Add(delta.Scale(r.Sigma / d))
+	if d := delta.Len(); d > w.sigmas[i] {
+		worldDest = w.snapshot[i].Add(delta.Scale(w.sigmas[i] / d))
 	}
 	return worldDest, nil
 }
@@ -159,24 +319,42 @@ func (w *World) computeMove(i int) (geom.Point, error) {
 // than the distance checks it culls.
 const viewIndexMinN = 48
 
-// prepareStep sizes the reusable snapshot/destination/error buffers for
-// an instant with the given activation-set size, and rebuilds the
-// per-step visibility grid when limited-visibility culling applies.
+// gridRebuildFraction is the moved fraction — of this instant's diff, or
+// of the grid's cumulative bucket drift — above which prepareStep
+// abandons incremental splicing for a full Rebuild: past it the splice
+// work approaches the rebuild cost and clamped-in movers start skewing
+// bucket balance.
+const gridRebuildFraction = 0.25
+
+// prepareStep refreshes the SoA mirrors, sizes the reusable
+// snapshot/destination/error buffers for an instant with the given
+// activation-set size, and brings the visibility grid in sync when
+// limited-visibility culling applies — incrementally when it can, by a
+// full rebuild when it must. The grid object is never discarded: when
+// indexing does not apply this instant it merely goes out of sync, so
+// toggling visibility or SetViewIndexing re-allocates nothing.
 func (w *World) prepareStep(activeLen int) {
 	n := len(w.pos)
-	if w.snapshot == nil {
+	w.syncSoA()
+	needIndex := !w.viewIndexOff && n >= viewIndexMinN && w.anyLimited
+	switch {
+	case w.snapshot == nil:
 		w.snapshot = make([]geom.Point, n)
-	}
-	copy(w.snapshot, w.pos)
-	if !w.viewIndexOff && n >= viewIndexMinN && w.anyLimitedVisibility() {
-		if w.viewIndex == nil {
-			w.viewIndex = spatial.NewGrid(w.snapshot)
-		} else {
-			w.viewIndex.Rebuild(w.snapshot)
+		copy(w.snapshot, w.pos)
+		if needIndex {
+			w.rebuildGrid()
 		}
-	} else {
-		w.viewIndex = nil
+	case needIndex && w.viewIndex != nil && w.gridSynced:
+		w.updateGridIncremental(n)
+	default:
+		copy(w.snapshot, w.pos)
+		if needIndex {
+			w.rebuildGrid()
+		} else {
+			w.gridSynced = false
+		}
 	}
+	w.viewIndexActive = needIndex
 	if cap(w.dests) < activeLen {
 		w.dests = make([]geom.Point, activeLen)
 		w.errs = make([]error, activeLen)
@@ -185,16 +363,62 @@ func (w *World) prepareStep(activeLen int) {
 	w.errs = w.errs[:activeLen]
 }
 
-// anyLimitedVisibility reports whether any robot has a bounded sensor.
-// Checked per step (a cheap scan) so VisRadius edits between steps are
-// honoured.
-func (w *World) anyLimitedVisibility() bool {
-	for _, r := range w.robots {
-		if r.VisRadius > 0 {
-			return true
+// rebuildGrid (re)indexes the visibility grid over the snapshot from
+// scratch, reusing buffers after warm-up.
+func (w *World) rebuildGrid() {
+	if w.viewIndex == nil {
+		w.viewIndex = spatial.NewGrid(w.snapshot)
+	} else {
+		w.viewIndex.Rebuild(w.snapshot)
+	}
+	w.gridSynced = true
+}
+
+// updateGridIncremental diffs the configuration against the snapshot the
+// grid indexes and splices only the moved robots (Grid.Move updates the
+// snapshot entries in place — the grid references the snapshot slice),
+// falling back to a full Rebuild past gridRebuildFraction. Queries on
+// the spliced grid are exact (the grid only narrows candidates), so the
+// computed views are bit-identical either way.
+func (w *World) updateGridIncremental(n int) {
+	moved := w.movedScratch[:0]
+	for i := range w.pos {
+		if w.pos[i] != w.snapshot[i] {
+			moved = append(moved, int32(i))
 		}
 	}
-	return false
+	w.movedScratch = moved
+	if float64(len(moved)) > gridRebuildFraction*float64(n) ||
+		w.viewIndex.MovedFraction() > gridRebuildFraction {
+		copy(w.snapshot, w.pos)
+		w.viewIndex.Rebuild(w.snapshot)
+		return
+	}
+	for _, i := range moved {
+		w.viewIndex.Move(int(i), w.snapshot[i], w.pos[i])
+	}
+	// The engine does not consume dirty cells (the protocol layer tracks
+	// its own); clear per step so the list stays short.
+	w.viewIndex.ClearDirty()
+}
+
+// syncSoA refreshes the structure-of-arrays mirrors of the per-robot hot
+// fields. Frames change with every move and callers may edit
+// Sigma/VisRadius/Behavior between steps, so the mirrors are re-derived
+// once per step in one linear pass; the compute phase then streams over
+// flat slices instead of chasing robots[i] pointers.
+func (w *World) syncSoA() {
+	limited := false
+	for i, r := range w.robots {
+		w.sigmas[i] = r.Sigma
+		w.visRadii[i] = r.VisRadius
+		w.frames[i] = r.Frame
+		w.behaviors[i] = r.Behavior
+		if r.VisRadius > 0 {
+			limited = true
+		}
+	}
+	w.anyLimited = limited
 }
 
 // SetViewIndexing enables or disables the limited-visibility spatial
@@ -203,7 +427,9 @@ func (w *World) anyLimitedVisibility() bool {
 // benchmarking and debugging knob, on by default.
 func (w *World) SetViewIndexing(on bool) { w.viewIndexOff = !on }
 
-// scratchFor returns robot i's view scratch, sized for n robots.
+// scratchFor returns robot i's view scratch with the dense buffers sized
+// for n robots. Compact views bypass it and size only the compact
+// buffers.
 func (w *World) scratchFor(i int) *viewScratch {
 	sc := &w.scratch[i]
 	if len(sc.points) != len(w.pos) {
@@ -212,7 +438,7 @@ func (w *World) scratchFor(i int) *viewScratch {
 	if w.ids != nil && len(sc.ids) != len(w.ids) {
 		sc.ids = make([]int, len(w.ids))
 	}
-	if w.robots[i].VisRadius > 0 && len(sc.visible) != len(w.pos) {
+	if w.visRadii[i] > 0 && len(sc.visible) != len(w.pos) {
 		sc.visible = make([]bool, len(w.pos))
 	}
 	return sc

@@ -229,6 +229,261 @@ func TestBehaviorPanicInParallelWorker(t *testing.T) {
 	}
 }
 
+// TestBehaviorPanicParityAcrossEngines pins the satellite fix: the
+// sequential branch used to call computeMove unwrapped, so a behavior
+// panic crashed the process under EngineSequential but surfaced as a
+// per-robot error under EngineParallel. All three modes must now yield
+// the identical error and leave the configuration untouched.
+func TestBehaviorPanicParityAcrossEngines(t *testing.T) {
+	build := func(mode EngineMode, compact bool) *World {
+		const n = 64 // >= parallelMinActive and viewIndexMinN
+		positions := make([]geom.Point, n)
+		robots := make([]*Robot, n)
+		for i := range positions {
+			positions[i] = geom.Pt(float64(i%8)*10, float64(i/8)*10)
+			i := i
+			robots[i] = &Robot{Frame: geom.WorldFrame(), Sigma: 1, VisRadius: 25, Behavior: BehaviorFunc(func(v View) geom.Point {
+				if i == 17 {
+					panic("boom")
+				}
+				return v.Points[v.Self]
+			})}
+		}
+		w, err := NewWorld(Config{Positions: positions, Robots: robots, Engine: mode})
+		if err != nil {
+			t.Fatal(err)
+		}
+		w.SetCompactViews(compact)
+		return w
+	}
+	for _, compact := range []bool{false, true} {
+		var errs []string
+		for _, mode := range []EngineMode{EngineSequential, EngineParallel, EngineAuto} {
+			w := build(mode, compact)
+			before := w.Positions()
+			_, err := w.Step(Synchronous{})
+			if err == nil {
+				t.Fatalf("engine %v (compact=%v): behavior panic did not surface", mode, compact)
+			}
+			if !strings.Contains(err.Error(), "robot 17 behavior panicked: boom") {
+				t.Fatalf("engine %v (compact=%v): wrong error %v", mode, compact, err)
+			}
+			for i, p := range w.Positions() {
+				if p != before[i] {
+					t.Fatalf("engine %v (compact=%v): configuration moved despite error", mode, compact)
+				}
+			}
+			errs = append(errs, err.Error())
+		}
+		for _, e := range errs[1:] {
+			if e != errs[0] {
+				t.Fatalf("compact=%v: errors diverge across modes: %q vs %q", compact, errs[0], e)
+			}
+		}
+	}
+}
+
+// visCentroidBehavior walks toward the centroid of the robots it can
+// see, reading the view through either layout — dense (skip invisible
+// slots) or compact (every slot is visible). Both layouts enumerate the
+// visible robots ascending by robot index, so the float accumulation
+// order, and hence the destination, is bit-identical.
+type visCentroidBehavior struct{ calls int }
+
+func (b *visCentroidBehavior) Step(v View) geom.Point {
+	b.calls++
+	var cx, cy float64
+	n := 0
+	for k, p := range v.Points {
+		if v.Indices == nil && v.Visible != nil && !v.Visible[k] {
+			continue
+		}
+		cx += p.X
+		cy += p.Y
+		n++
+	}
+	angle := float64(b.calls) * 1.3
+	return geom.Pt(cx/float64(n)+math.Cos(angle), cy/float64(n)+math.Sin(angle))
+}
+
+// limitedWorld builds a jittered-grid swarm with bounded sensors.
+func limitedWorld(t *testing.T, n int, mode EngineMode, vis float64, compact bool, seed int64) *World {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	side := int(math.Ceil(math.Sqrt(float64(n))))
+	positions := make([]geom.Point, n)
+	robots := make([]*Robot, n)
+	for i := range positions {
+		positions[i] = geom.Pt(float64(i%side)*8+rng.Float64()*3, float64(i/side)*8+rng.Float64()*3)
+		robots[i] = &Robot{
+			Frame:     geom.NewFrame(geom.Point{}, rng.Float64()*2*math.Pi, 1, geom.RightHanded),
+			Sigma:     2,
+			VisRadius: vis,
+			Behavior:  &visCentroidBehavior{},
+		}
+	}
+	w, err := NewWorld(Config{Positions: positions, Robots: robots, Engine: mode})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.SetCompactViews(compact)
+	return w
+}
+
+// TestCompactViewParity pins the compact-view guarantee: a compact world
+// computes the identical trajectory to a dense one — across engine
+// modes (per-robot and cell-batched construction) and with the spatial
+// index disabled (the brute compact path).
+func TestCompactViewParity(t *testing.T) {
+	const n, steps = 150, 120
+	ref := limitedWorld(t, n, EngineSequential, 20, false, 42)
+	variants := map[string]*World{
+		"compact-seq":     limitedWorld(t, n, EngineSequential, 20, true, 42),
+		"compact-par":     limitedWorld(t, n, EngineParallel, 20, true, 42),
+		"compact-noindex": limitedWorld(t, n, EngineSequential, 20, true, 42),
+		"dense-par":       limitedWorld(t, n, EngineParallel, 20, false, 42),
+	}
+	variants["compact-noindex"].SetViewIndexing(false)
+	refSched := NewRandomFair(9)
+	scheds := map[string]*RandomFair{}
+	for name := range variants {
+		scheds[name] = NewRandomFair(9)
+	}
+	for s := 0; s < steps; s++ {
+		if _, err := ref.Step(refSched); err != nil {
+			t.Fatal(err)
+		}
+		for name, w := range variants {
+			if _, err := w.Step(scheds[name]); err != nil {
+				t.Fatalf("%s: %v", name, err)
+			}
+		}
+	}
+	for name, w := range variants {
+		for i := 0; i < n; i++ {
+			if w.Position(i) != ref.Position(i) {
+				t.Fatalf("%s: robot %d diverged: %v vs dense %v", name, i, w.Position(i), ref.Position(i))
+			}
+		}
+	}
+}
+
+// TestIncrementalGridParity drives the incremental grid maintenance
+// end-to-end: partial activations (few robots move per instant, so
+// prepareStep splices instead of rebuilding), a mid-run teleport, and a
+// mid-run engine switch must all leave the trajectory bit-identical to
+// a world with the index disabled entirely.
+func TestIncrementalGridParity(t *testing.T) {
+	const n, steps = 200, 250
+	indexed := limitedWorld(t, n, EngineSequential, 24, false, 7)
+	brute := limitedWorld(t, n, EngineSequential, 24, false, 7)
+	brute.SetViewIndexing(false)
+	si, sb := NewRandomFair(13), NewRandomFair(13)
+	for s := 0; s < steps; s++ {
+		if s == 100 {
+			// A teleport breaks the moved-robots diff's "only active
+			// robots moved" shortcut; the diff must catch it.
+			if err := indexed.Teleport(3, geom.Pt(-50, -50)); err != nil {
+				t.Fatal(err)
+			}
+			if err := brute.Teleport(3, geom.Pt(-50, -50)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if s == 170 {
+			indexed.SetEngine(EngineParallel)
+			brute.SetEngine(EngineParallel)
+		}
+		if _, err := indexed.Step(si); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := brute.Step(sb); err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < n; i++ {
+			if indexed.Position(i) != brute.Position(i) {
+				t.Fatalf("step %d: robot %d diverged: indexed %v, brute %v", s, i, indexed.Position(i), brute.Position(i))
+			}
+		}
+	}
+}
+
+// TestGridRetainedAcrossIndexingToggle pins the buffer-reuse satellite
+// fix: prepareStep used to nil the grid whenever indexing did not apply,
+// discarding its warmed CSR buffers; now the object survives toggles of
+// SetViewIndexing and of the robots' sensor radii.
+func TestGridRetainedAcrossIndexingToggle(t *testing.T) {
+	w := limitedWorld(t, 64, EngineSequential, 20, false, 11)
+	step := func() {
+		t.Helper()
+		if _, err := w.Step(Synchronous{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	step()
+	g := w.viewIndex
+	if g == nil || !w.viewIndexActive {
+		t.Fatal("no active grid after a limited-visibility step")
+	}
+	w.SetViewIndexing(false)
+	step()
+	if w.viewIndex != g {
+		t.Fatal("grid discarded while indexing was off")
+	}
+	if w.viewIndexActive {
+		t.Fatal("viewIndexActive while indexing is off")
+	}
+	w.SetViewIndexing(true)
+	step()
+	if w.viewIndex != g || !w.viewIndexActive {
+		t.Fatal("grid not reused after re-enabling indexing")
+	}
+	// Toggling visibility itself (VisRadius edits) keeps it too.
+	for i := 0; i < w.N(); i++ {
+		w.Robot(i).VisRadius = 0
+	}
+	step()
+	if w.viewIndex != g || w.viewIndexActive {
+		t.Fatal("grid handling wrong after visibility removed")
+	}
+	for i := 0; i < w.N(); i++ {
+		w.Robot(i).VisRadius = 20
+	}
+	step()
+	if w.viewIndex != g || !w.viewIndexActive {
+		t.Fatal("grid not reused after visibility restored")
+	}
+}
+
+// TestCoincidentCheckGridParity: the grid-backed distinctness check of
+// large configurations must report the same pair as the ascending
+// all-pairs scan.
+func TestCoincidentCheckGridParity(t *testing.T) {
+	const n = 300 // >= coincidentGridMinN
+	mk := func() []geom.Point {
+		pts := make([]geom.Point, n)
+		for i := range pts {
+			pts[i] = geom.Pt(float64(i%20)*5, float64(i/20)*5)
+		}
+		return pts
+	}
+	pts := mk()
+	pts[120] = pts[37]
+	pts[205] = pts[37] // two coincident partners; the scan reports the smaller j
+	robots := make([]*Robot, n)
+	for i := range robots {
+		robots[i] = &Robot{Frame: geom.WorldFrame(), Sigma: 1, Behavior: BehaviorFunc(func(v View) geom.Point { return v.Points[v.Self] })}
+	}
+	_, err := NewWorld(Config{Positions: pts, Robots: robots})
+	if err == nil || !strings.Contains(err.Error(), "robots 37 and 120") {
+		t.Fatalf("grid coincidence check reported %v, want robots 37 and 120", err)
+	}
+	// Distinct large configurations must pass.
+	if _, err := NewWorld(Config{Positions: mk(), Robots: robots}); err != nil {
+		t.Fatalf("distinct configuration rejected: %v", err)
+	}
+}
+
 // TestStepAllocationFree pins the buffer-reuse goal: after warm-up, a
 // sequential step of a plain (untraced, anonymous, unlimited-vision)
 // world performs zero heap allocations in the engine itself.

@@ -16,6 +16,7 @@ package sim
 import (
 	"errors"
 	"fmt"
+	"slices"
 	"time"
 
 	"waggle/internal/geom"
@@ -44,29 +45,41 @@ func (f BehaviorFunc) Step(view View) geom.Point { return f(view) }
 var _ Behavior = BehaviorFunc(nil)
 
 // View is what an activated robot perceives: the instantaneous positions
-// of all robots expressed in its own frame. Positions are index-aligned
-// with the world's robot slice; protocols that model *anonymous* robots
-// must not treat the index as an identity — they re-identify robots
-// geometrically (see Tracker). Self is the observer's own index, which
-// every robot trivially knows (its own position is the local origin).
+// of all robots expressed in its own frame. In the default dense layout,
+// positions are index-aligned with the world's robot slice; protocols
+// that model *anonymous* robots must not treat the index as an identity
+// — they re-identify robots geometrically (see Tracker). Self is the
+// observer's own slot, which every robot trivially knows (its own
+// position is the local origin). In a *compact* view
+// (World.SetCompactViews), Points holds only the robots inside the
+// sensor disc and Indices maps slots back to robot indices.
 type View struct {
 	// Time is the index of the current instant.
 	Time int
-	// Self is the observer's index.
+	// Self is the observer's own slot in Points. In a dense view this is
+	// the observer's robot index; in a compact view it is the slot whose
+	// Indices entry is the observer.
 	Self int
-	// Points holds every robot's position in the observer's local frame.
+	// Points holds robot positions in the observer's local frame: every
+	// robot in a dense view, only the visible ones in a compact view.
 	Points []geom.Point
-	// IDs holds the observable identifiers, or nil in an anonymous
-	// system (§2 of the paper: "identified or anonymous").
+	// IDs holds the observable identifiers slot-aligned with Points, or
+	// nil in an anonymous system (§2 of the paper: "identified or
+	// anonymous").
 	IDs []int
 	// Visible, when non-nil, marks which robots the observer can
 	// actually see (limited visibility, the §5 open problem). Points of
 	// invisible robots hold the observer's own position — the sensor
 	// reports nothing there. Nil means unlimited visibility (the
-	// paper's base model). The shipped protocols assume full visibility
-	// and do not consult this field; the visibility experiments measure
-	// what that assumption costs.
+	// paper's base model) or a compact view (where everything present is
+	// visible by construction). The shipped protocols assume full
+	// visibility and do not consult this field; the visibility
+	// experiments measure what that assumption costs.
 	Visible []bool
+	// Indices, when non-nil, marks the view as compact: Points[k] is the
+	// local position of robot Indices[k], ascending in robot index. Nil
+	// means the dense layout.
+	Indices []int
 }
 
 // N returns the number of robots in the view.
@@ -119,13 +132,37 @@ type World struct {
 	errs     []error
 	seen     []bool // duplicate-activation detector
 
-	// viewIndex is a per-step spatial grid over the snapshot, rebuilt in
+	// Structure-of-arrays mirrors of the per-robot hot fields, refreshed
+	// once per step by syncSoA (see engine.go) so the compute phase
+	// streams over flat slices instead of chasing robots[i] pointers.
+	// anyLimited caches whether any robot has a bounded sensor.
+	sigmas     []float64
+	visRadii   []float64
+	frames     []geom.Frame
+	behaviors  []Behavior
+	anyLimited bool
+
+	// viewIndex is a spatial grid over the snapshot, kept in sync by
 	// prepareStep when any robot has limited visibility and the swarm is
-	// large enough to amortise the rebuild. It is read-only during the
-	// compute phase, so parallel workers share it safely. viewIndexOff
-	// is the benchmark/debug switch (SetViewIndexing).
-	viewIndex    *spatial.Grid
-	viewIndexOff bool
+	// large enough to amortise indexing: incrementally spliced when few
+	// robots moved since the previous instant, rebuilt otherwise. It is
+	// read-only during the compute phase, so parallel workers share it
+	// safely. viewIndexActive marks it in use this instant; gridSynced
+	// marks its contents current (the object is retained, warm, across
+	// instants that do not index). viewIndexOff is the benchmark/debug
+	// switch (SetViewIndexing); movedScratch is the diff buffer.
+	viewIndex       *spatial.Grid
+	viewIndexOff    bool
+	viewIndexActive bool
+	gridSynced      bool
+	movedScratch    []int32
+
+	// compact enables compact views (SetCompactViews); activeSlot maps
+	// robot index to destination slot during batched view construction
+	// (-1 when inactive) and cellScratch holds per-worker batch buffers.
+	compact     bool
+	activeSlot  []int32
+	cellScratch []cellBatch
 
 	// inject is the optional fault-injection hook surface (see
 	// inject.go); nil means a fault-free world.
@@ -192,18 +229,24 @@ func NewWorld(cfg Config) (*World, error) {
 		if cfg.Robots[i].Sigma <= 0 {
 			return nil, fmt.Errorf("robot %d: %w", i, ErrBadSigma)
 		}
-		for j := i + 1; j < n; j++ {
-			if cfg.Positions[i].Eq(cfg.Positions[j]) {
-				return nil, fmt.Errorf("robots %d and %d: %w", i, j, ErrCoincidentRobots)
-			}
-		}
+	}
+	if err := checkDistinctPositions(cfg.Positions); err != nil {
+		return nil, err
 	}
 	w := &World{
-		robots:  make([]*Robot, n),
-		pos:     make([]geom.Point, n),
-		engine:  cfg.Engine,
-		scratch: make([]viewScratch, n),
-		seen:    make([]bool, n),
+		robots:     make([]*Robot, n),
+		pos:        make([]geom.Point, n),
+		engine:     cfg.Engine,
+		scratch:    make([]viewScratch, n),
+		seen:       make([]bool, n),
+		sigmas:     make([]float64, n),
+		visRadii:   make([]float64, n),
+		frames:     make([]geom.Frame, n),
+		behaviors:  make([]Behavior, n),
+		activeSlot: make([]int32, n),
+	}
+	for i := range w.activeSlot {
+		w.activeSlot[i] = -1
 	}
 	copy(w.pos, cfg.Positions)
 	for i, r := range cfg.Robots {
@@ -227,6 +270,44 @@ func NewWorld(cfg Config) (*World, error) {
 		w.trace = NewTrace(cfg.Positions)
 	}
 	return w, nil
+}
+
+// coincidentGridMinN is the robot count from which NewWorld checks
+// initial-position distinctness through a throwaway spatial grid instead
+// of the ascending all-pairs scan; below it the grid build costs more
+// than the quadratic loop it avoids.
+const coincidentGridMinN = 256
+
+// checkDistinctPositions rejects coincident initial positions, which the
+// model forbids. Large sets use a grid and find, for each i ascending,
+// the smallest coincident j > i — the same pair the quadratic scan
+// reports, at expected O(n): the grid only narrows candidates and the
+// predicate is the same Eq (Dist <= Eps) arithmetic.
+func checkDistinctPositions(pts []geom.Point) error {
+	n := len(pts)
+	if n < coincidentGridMinN {
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				if pts[i].Eq(pts[j]) {
+					return fmt.Errorf("robots %d and %d: %w", i, j, ErrCoincidentRobots)
+				}
+			}
+		}
+		return nil
+	}
+	g := spatial.NewGrid(pts)
+	for i := 0; i < n; i++ {
+		minJ := -1
+		g.VisitNeighborhood(pts[i], geom.Eps, func(j int, d float64) {
+			if j > i && d <= geom.Eps && (minJ < 0 || j < minJ) {
+				minJ = j
+			}
+		})
+		if minJ >= 0 {
+			return fmt.Errorf("robots %d and %d: %w", i, minJ, ErrCoincidentRobots)
+		}
+	}
+	return nil
 }
 
 // N returns the number of robots.
@@ -421,17 +502,20 @@ func (w *World) Run(s Scheduler, maxSteps int, done func(w *World) bool) (int, b
 // unchanging) until robot i's next activation. Behaviors that need the
 // view beyond one Step call must copy what they keep.
 func (w *World) localView(i int, snapshot []geom.Point) View {
-	frame := w.robots[i].Frame
+	if w.compact && w.visRadii[i] > 0 {
+		return w.compactView(i, snapshot)
+	}
+	frame := w.frames[i]
 	sc := w.scratchFor(i)
 	pts := sc.points
 	var visible []bool
-	if r := w.robots[i].VisRadius; r > 0 {
+	if r := w.visRadii[i]; r > 0 {
 		visible = sc.visible
 		for j := range visible {
 			visible[j] = false
 		}
 	}
-	if visible != nil && w.viewIndex != nil {
+	if visible != nil && w.viewIndexActive {
 		if o := w.obs; o != nil {
 			// View-index hit: this view is built through the per-step
 			// grid. Atomic add — the compute phase runs concurrently.
@@ -449,7 +533,7 @@ func (w *World) localView(i int, snapshot []geom.Point) View {
 		for j := range pts {
 			pts[j] = selfLocal
 		}
-		r := w.robots[i].VisRadius
+		r := w.visRadii[i]
 		w.viewIndex.VisitNeighborhood(self, r, func(j int, d float64) {
 			if d <= r {
 				visible[j] = true
@@ -465,7 +549,7 @@ func (w *World) localView(i int, snapshot []geom.Point) View {
 	}
 	for j, p := range snapshot {
 		if visible != nil {
-			if snapshot[i].Dist(p) <= w.robots[i].VisRadius {
+			if snapshot[i].Dist(p) <= w.visRadii[i] {
 				visible[j] = true
 			} else {
 				// Out of sensor range: the observer perceives nothing
@@ -482,4 +566,62 @@ func (w *World) localView(i int, snapshot []geom.Point) View {
 		copy(ids, w.ids)
 	}
 	return View{Time: w.time, Self: i, Points: pts, IDs: ids, Visible: visible}
+}
+
+// compactView builds robot i's compact view: the robots inside the
+// sensor disc, ascending by robot index, with Indices mapping slots back
+// to robot indices. The visible content is bit-identical to the dense
+// view's visible set — same exact Dist <= VisRadius predicate (on a
+// grid-narrowed candidate superset when the index is active), same
+// frame transform, ascending order.
+func (w *World) compactView(i int, snapshot []geom.Point) View {
+	sc := &w.scratch[i]
+	self := snapshot[i]
+	r := w.visRadii[i]
+	idx := sc.cidx[:0]
+	if w.viewIndexActive {
+		if o := w.obs; o != nil {
+			o.Sim.ViewIndexViews.Inc()
+		}
+		w.viewIndex.VisitNeighborhood(self, r, func(j int, d float64) {
+			if d <= r {
+				idx = append(idx, j)
+			}
+		})
+		// Grid visit order is bucket order; compact views are sorted.
+		slices.Sort(idx)
+	} else {
+		for j := range snapshot {
+			if self.Dist(snapshot[j]) <= r {
+				idx = append(idx, j)
+			}
+		}
+	}
+	sc.cidx = idx
+	return w.finishCompact(i, idx, snapshot)
+}
+
+// finishCompact materialises a compact view from the sorted visible
+// index set, reusing robot i's compact scratch buffers.
+func (w *World) finishCompact(i int, idx []int, snapshot []geom.Point) View {
+	sc := &w.scratch[i]
+	frame := w.frames[i]
+	pts := sc.cpts[:0]
+	var ids []int
+	if w.ids != nil {
+		ids = sc.cids[:0]
+	}
+	selfSlot := -1
+	for k, j := range idx {
+		if j == i {
+			selfSlot = k
+		}
+		pts = append(pts, frame.ToLocal(snapshot[j]))
+		if w.ids != nil {
+			ids = append(ids, w.ids[j])
+		}
+	}
+	sc.cpts = pts
+	sc.cids = ids
+	return View{Time: w.time, Self: selfSlot, Points: pts, IDs: ids, Indices: idx}
 }

@@ -23,6 +23,17 @@
 // and keeps rebuilds allocation-free after warm-up. Clustered or
 // collinear inputs degrade gracefully: queries fall back to scanning
 // more rings and remain correct (worst case O(n), the brute-force cost).
+//
+// Between rebuilds the grid supports incremental updates: Move splices a
+// single point between buckets in O(1) and marks both cells in a dirty
+// bitmap, so per-step simulator snapshots where few robots moved skip
+// the O(n) Rebuild entirely. Moved points may drift outside the bounding
+// box the cell geometry was computed from; cellCoords clamps them into
+// edge cells, which keeps every query exact (the grid only ever narrows
+// candidates — final predicates are evaluated by the caller) and only
+// degrades bucket balance. Callers bound that degradation by falling
+// back to Rebuild once MovedFraction passes a threshold (the simulator
+// uses ~25%).
 package spatial
 
 import (
@@ -52,10 +63,32 @@ type Grid struct {
 	cols, rows   int
 
 	// CSR bucket layout: bucket c holds items[start[c]:start[c+1]],
-	// in ascending point-index order.
+	// in ascending point-index order. After a Move, items that left
+	// their CSR bucket are masked out of it (cellOf no longer matches)
+	// and live in their current cell's extra list instead; visit order
+	// within a cell is then base items first, movers after.
 	start  []int32
 	items  []int32
 	counts []int32 // rebuild scratch
+
+	// Incremental overlay (Move), built lazily on the first Move after
+	// a Rebuild. Invariants: cellOf[i] is the cell of pts[i] under the
+	// current (clamped) geometry; i is in exactly one extra list —
+	// extra[cellOf[i]] at position extraSlot[i] — iff cellOf[i] !=
+	// base[i]; movedN counts such items.
+	overlayReady bool
+	base         []int32
+	cellOf       []int32
+	extra        [][]int32
+	extraSlot    []int32
+	extraUsed    []int32 // cells whose extra list has been appended to
+	movedN       int
+
+	// Dirty-cell tracking: a bitmap plus the list of set bits. Move
+	// marks the source and destination cells; Rebuild and ClearDirty
+	// reset the set. Invariant: dirty has exactly the bits in dirtyList.
+	dirty     []uint64
+	dirtyList []int32
 }
 
 // NewGrid indexes pts. The slice is referenced, not copied.
@@ -73,10 +106,20 @@ func (g *Grid) Len() int { return len(g.pts) }
 // instant and allocates nothing after warm-up.
 func (g *Grid) Rebuild(pts []geom.Point) {
 	g.pts = pts
+	g.resetOverlay()
 	n := len(pts)
 	if n == 0 {
+		// Reset the full geometry, not just the cell counts: stale
+		// minX/cellW with cols == 0 would make a later cellCoords clamp
+		// its column to cols-1 == -1 and index out of bounds.
+		g.minX, g.minY = 0, 0
+		g.cellW, g.cellH = 1, 1
 		g.cols, g.rows = 0, 0
 		g.items = g.items[:0]
+		if g.start != nil {
+			g.start = g.start[:1]
+			g.start[0] = 0
+		}
 		return
 	}
 	minX, minY := math.Inf(1), math.Inf(1)
@@ -130,11 +173,191 @@ func (g *Grid) Rebuild(pts []geom.Point) {
 		g.items[g.counts[c]] = int32(i)
 		g.counts[c]++
 	}
+
+	words := (cells + 63) / 64
+	if cap(g.dirty) < words {
+		g.dirty = make([]uint64, words)
+	}
+	// The cap region is zero by invariant: every set bit is in
+	// dirtyList, and resetOverlay cleared them all.
+	g.dirty = g.dirty[:words]
+}
+
+// resetOverlay discards the incremental state: extra lists are
+// truncated (capacity kept), the dirty set is cleared, and the overlay
+// is rebuilt lazily on the next Move.
+func (g *Grid) resetOverlay() {
+	for _, c := range g.extraUsed {
+		if int(c) < len(g.extra) {
+			g.extra[c] = g.extra[c][:0]
+		}
+	}
+	g.extraUsed = g.extraUsed[:0]
+	g.movedN = 0
+	g.overlayReady = false
+	g.ClearDirty()
+}
+
+// buildOverlay initialises base/cellOf from the CSR layout.
+func (g *Grid) buildOverlay() {
+	n := len(g.pts)
+	cells := g.cols * g.rows
+	if cap(g.base) < n {
+		g.base = make([]int32, n)
+		g.cellOf = make([]int32, n)
+		g.extraSlot = make([]int32, n)
+	}
+	g.base = g.base[:n]
+	g.cellOf = g.cellOf[:n]
+	g.extraSlot = g.extraSlot[:n]
+	if cap(g.extra) < cells {
+		g.extra = append(g.extra[:cap(g.extra)], make([][]int32, cells-cap(g.extra))...)
+	}
+	g.extra = g.extra[:cells]
+	for c := 0; c < cells; c++ {
+		for k := g.start[c]; k < g.start[c+1]; k++ {
+			g.base[g.items[k]] = int32(c)
+			g.cellOf[g.items[k]] = int32(c)
+		}
+	}
+	g.overlayReady = true
+}
+
+// Move re-indexes point i after it moved from `from` to `to`, splicing
+// it between buckets in O(1) and updating g.pts[i] in place. Every
+// position change between Rebuilds must go through Move (or trigger a
+// Rebuild): the overlay tracks cells by what it was told, not by
+// re-scanning. `from` must be the previous value of pts[i]. Both the
+// source and destination cells are marked dirty — a within-cell move
+// marks its one cell, since distances to the point still changed.
+//
+// Moved points may lie outside the bounding box of the last Rebuild;
+// they are clamped into edge cells, which keeps queries exact but skews
+// bucket balance — watch MovedFraction and Rebuild past ~25%.
+func (g *Grid) Move(i int, from, to geom.Point) {
+	_ = from // the overlay already knows the source cell; kept for symmetry and debuggability
+	if !g.overlayReady {
+		g.buildOverlay()
+	}
+	g.pts[i] = to
+	cf := g.cellOf[i]
+	ct := int32(g.cellIndex(to))
+	g.markDirty(cf)
+	if ct == cf {
+		return
+	}
+	g.markDirty(ct)
+	if cf != g.base[i] {
+		g.extraRemove(int32(i), cf)
+	}
+	if ct != g.base[i] {
+		g.extraAdd(int32(i), ct)
+	}
+	if cf == g.base[i] {
+		g.movedN++
+	} else if ct == g.base[i] {
+		g.movedN--
+	}
+	g.cellOf[i] = ct
+}
+
+func (g *Grid) extraAdd(i, c int32) {
+	if len(g.extra[c]) == 0 {
+		g.extraUsed = append(g.extraUsed, c)
+	}
+	g.extraSlot[i] = int32(len(g.extra[c]))
+	g.extra[c] = append(g.extra[c], i)
+}
+
+func (g *Grid) extraRemove(i, c int32) {
+	lst := g.extra[c]
+	s := g.extraSlot[i]
+	last := int32(len(lst)) - 1
+	movedItem := lst[last]
+	lst[s] = movedItem
+	g.extraSlot[movedItem] = s
+	g.extra[c] = lst[:last]
+}
+
+// MovedFraction returns the fraction of points currently outside their
+// Rebuild-time bucket — the signal callers use to decide when the
+// incremental overlay has degraded enough to warrant a full Rebuild.
+func (g *Grid) MovedFraction() float64 {
+	if len(g.pts) == 0 {
+		return 0
+	}
+	return float64(g.movedN) / float64(len(g.pts))
+}
+
+func (g *Grid) markDirty(c int32) {
+	w, b := c>>6, uint64(1)<<(uint(c)&63)
+	if g.dirty[w]&b == 0 {
+		g.dirty[w] |= b
+		g.dirtyList = append(g.dirtyList, c)
+	}
+}
+
+// DirtyCells returns the cells marked dirty since the last ClearDirty
+// or Rebuild. The slice is shared and invalidated by the next Move;
+// callers must not retain or mutate it.
+func (g *Grid) DirtyCells() []int32 { return g.dirtyList }
+
+// ClearDirty empties the dirty-cell set.
+func (g *Grid) ClearDirty() {
+	for _, c := range g.dirtyList {
+		g.dirty[c>>6] &^= uint64(1) << (uint(c) & 63)
+	}
+	g.dirtyList = g.dirtyList[:0]
+}
+
+// DirtyWithin reports whether any dirty cell intersects the axis-aligned
+// square covering the disc of the given radius around p (widened by one
+// cell against boundary rounding, like VisitNeighborhood's cull). It is
+// the dirty-set analogue of a radius query: if no point within radius r
+// of p moved since the last ClearDirty, it returns false.
+func (g *Grid) DirtyWithin(p geom.Point, r float64) bool {
+	if len(g.dirtyList) == 0 || len(g.pts) == 0 {
+		return false
+	}
+	if r < 0 {
+		r = 0
+	}
+	if math.IsInf(r, 1) {
+		return true
+	}
+	x0 := g.clampCol(int(math.Floor((p.X-r-g.minX)/g.cellW)) - 1)
+	x1 := g.clampCol(int(math.Floor((p.X+r-g.minX)/g.cellW)) + 1)
+	y0 := g.clampRow(int(math.Floor((p.Y-r-g.minY)/g.cellH)) - 1)
+	y1 := g.clampRow(int(math.Floor((p.Y+r-g.minY)/g.cellH)) + 1)
+	area := (x1 - x0 + 1) * (y1 - y0 + 1)
+	if len(g.dirtyList) < area {
+		for _, c := range g.dirtyList {
+			cx, cy := int(c)%g.cols, int(c)/g.cols
+			if cx >= x0 && cx <= x1 && cy >= y0 && cy <= y1 {
+				return true
+			}
+		}
+		return false
+	}
+	for y := y0; y <= y1; y++ {
+		for x := x0; x <= x1; x++ {
+			c := y*g.cols + x
+			if g.dirty[c>>6]&(uint64(1)<<(uint(c)&63)) != 0 {
+				return true
+			}
+		}
+	}
+	return false
 }
 
 // cellCoords returns the (column, row) of the cell containing p, clamped
 // into the grid (query points may lie outside the indexed bounding box).
+// An empty grid has no cells; (0, 0) keeps downstream arithmetic in
+// bounds and no caller dereferences a bucket without indexed points.
 func (g *Grid) cellCoords(p geom.Point) (int, int) {
+	if g.cols <= 0 || g.rows <= 0 {
+		return 0, 0
+	}
 	ix := int((p.X - g.minX) / g.cellW)
 	if ix < 0 {
 		ix = 0
@@ -155,12 +378,28 @@ func (g *Grid) cellIndex(p geom.Point) int {
 	return iy*g.cols + ix
 }
 
-// visitCell calls fn for every point bucketed in cell (ix, iy), in
-// ascending point-index order.
+// visitCell calls fn for every point currently in cell (ix, iy): the
+// CSR bucket in ascending point-index order, then — when Moves are
+// outstanding — the cell's extra list of moved-in points (arbitrary
+// order). Items that moved out of their CSR bucket are masked by the
+// cellOf check. Result sets and explicit lowest-index tie rules are
+// unaffected by the weaker order; only the "ascending" visit guarantee
+// is limited to move-free grids.
 func (g *Grid) visitCell(ix, iy int, fn func(j int32)) {
-	c := iy*g.cols + ix
+	c := int32(iy*g.cols + ix)
+	if g.movedN == 0 {
+		for k := g.start[c]; k < g.start[c+1]; k++ {
+			fn(g.items[k])
+		}
+		return
+	}
 	for k := g.start[c]; k < g.start[c+1]; k++ {
-		fn(g.items[k])
+		if j := g.items[k]; g.cellOf[j] == c {
+			fn(j)
+		}
+	}
+	for _, j := range g.extra[c] {
+		fn(j)
 	}
 }
 
@@ -302,6 +541,57 @@ func (g *Grid) VisitNeighborhood(p geom.Point, radius float64, fn func(j int, d 
 			})
 		}
 	}
+}
+
+// CellCount returns the number of grid cells (cols × rows; 0 for an
+// empty grid). Cell indices are row-major: c = row*cols + col. The count
+// is only invalidated by Rebuild, so callers may iterate cells while
+// issuing queries.
+func (g *Grid) CellCount() int { return g.cols * g.rows }
+
+// VisitCellMembers calls fn for every point currently located in cell c:
+// the CSR bucket in ascending point-index order, then any moved-in
+// points (see visitCell).
+func (g *Grid) VisitCellMembers(c int, fn func(j int32)) {
+	if g.cols <= 0 {
+		return
+	}
+	g.visitCell(c%g.cols, c/g.cols, fn)
+}
+
+// AppendCellWindow appends to buf the index of every point whose current
+// cell lies within ceil(r/cellSide)+1 cells of cell c in each axis — a
+// guaranteed candidate superset of the points within distance r of ANY
+// point located in cell c. The guarantee covers moved points clamped
+// into c from outside the indexed box: clamping columns is monotone and
+// non-expansive, so two points within distance r land at most
+// ceil(r/cellW)+1 clamped columns apart (likewise rows). Each point is
+// appended at most once; callers apply the exact distance predicate.
+func (g *Grid) AppendCellWindow(buf []int32, c int, r float64) []int32 {
+	if g.cols <= 0 || r < 0 {
+		return buf
+	}
+	cx, cy := c%g.cols, c/g.cols
+	sx := spanCells(r, g.cellW, g.cols)
+	sy := spanCells(r, g.cellH, g.rows)
+	x0, x1 := g.clampCol(cx-sx), g.clampCol(cx+sx)
+	y0, y1 := g.clampRow(cy-sy), g.clampRow(cy+sy)
+	for y := y0; y <= y1; y++ {
+		for x := x0; x <= x1; x++ {
+			g.visitCell(x, y, func(j int32) { buf = append(buf, j) })
+		}
+	}
+	return buf
+}
+
+// spanCells converts a world-space radius into a half-width in cells,
+// saturating at the full axis (NaN, Inf and huge radii all take it).
+func spanCells(r, side float64, cells int) int {
+	s := math.Ceil(r / side)
+	if !(s < float64(cells)) {
+		return cells
+	}
+	return int(s) + 1
 }
 
 func (g *Grid) clampCol(x int) int {

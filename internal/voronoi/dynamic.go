@@ -1,0 +1,246 @@
+package voronoi
+
+import (
+	"waggle/internal/geom"
+	"waggle/internal/spatial"
+)
+
+// dynRebuildFraction is the moved fraction above which Dynamic.Update
+// abandons incremental cell maintenance for a full rebuild: past it the
+// affected set approaches the whole diagram and the underlying grid's
+// bucket balance degrades.
+const dynRebuildFraction = 0.25
+
+// Dynamic maintains a Voronoi diagram of a moving site set incrementally
+// across updates. When few sites moved since the last Update, only the
+// affected cells are recomputed: cell i is determined entirely by the
+// sites within twice its covering radius R_i (a site farther than 2R_i
+// has its bisector farther than R_i from the site, so it cannot cut the
+// region, and the granular disc is inscribed in the region), so cell i
+// is re-derived iff site i itself moved or a dirty grid cell — one a
+// site left, entered, or moved within — intersects the disc of radius
+// 2R_i around the site. Recomputed and cached cells alike carry exactly
+// the bytes a from-scratch pruned construction (New at this size)
+// produces: recomputation runs the same makeCellPruned over the same
+// sites and box, and a cached cell's entire clip-relevant site set is
+// certified unmoved.
+//
+// Updates that change the site count, move the bounding box (the box
+// enters every region's clip sequence), or move more than
+// dynRebuildFraction of the sites fall back to the full construction.
+// Sets below pruneMinSites are always rebuilt in full — at that size the
+// diagram is cheaper than the bookkeeping.
+type Dynamic struct {
+	sites []geom.Point // owned copy, referenced by grid
+	diag  *Diagram
+	grid  *spatial.Grid // nil below pruneMinSites
+	cover []float64     // per-cell covering radius FarthestVertexDist(site)
+	moved []int32       // diff scratch
+	flag  []bool        // moved-site marks, cleared per update
+	sc    cellScratch
+	// bounding box of the sites at the last full or incremental update
+	bx0, by0, bx1, by1 float64
+	stale              bool // a failed update left cells out of sync
+}
+
+// NewDynamic computes the diagram of sites and returns a tracker primed
+// for incremental updates. The slice is copied.
+func NewDynamic(sites []geom.Point) (*Dynamic, error) {
+	dy := &Dynamic{sites: append([]geom.Point(nil), sites...)}
+	if err := dy.full(); err != nil {
+		return nil, err
+	}
+	return dy, nil
+}
+
+// Diagram returns the current diagram. It is invalidated by the next
+// Update (cells are refreshed in place); callers must copy what they
+// keep.
+func (dy *Dynamic) Diagram() *Diagram { return dy.diag }
+
+// Update moves the tracked sites and returns the refreshed diagram,
+// cell-for-cell identical to a fresh New over the same slice. On a
+// coincident-site error the tracker stays usable — the next successful
+// Update rebuilds in full.
+func (dy *Dynamic) Update(sites []geom.Point) (*Diagram, error) {
+	if len(sites) != len(dy.sites) {
+		dy.sites = append(dy.sites[:0], sites...)
+		if err := dy.full(); err != nil {
+			return nil, err
+		}
+		return dy.diag, nil
+	}
+	moved := dy.moved[:0]
+	for i := range sites {
+		if sites[i] != dy.sites[i] {
+			moved = append(moved, int32(i))
+		}
+	}
+	dy.moved = moved
+	if len(moved) == 0 && !dy.stale {
+		return dy.diag, nil
+	}
+	n := len(sites)
+	bx0, by0, bx1, by1 := siteBounds(sites)
+	switch {
+	case dy.stale,
+		dy.grid == nil,
+		float64(len(moved)) > dynRebuildFraction*float64(n),
+		dy.grid.MovedFraction() > dynRebuildFraction,
+		bx0 != dy.bx0 || by0 != dy.by0 || bx1 != dy.bx1 || by1 != dy.by1:
+		copy(dy.sites, sites)
+		if err := dy.full(); err != nil {
+			return nil, err
+		}
+		return dy.diag, nil
+	}
+	for _, i := range moved {
+		// Move updates dy.sites[i] — the grid references the slice.
+		dy.grid.Move(int(i), dy.sites[i], sites[i])
+		dy.flag[i] = true
+	}
+	if i, j, found := dy.movedCoincidence(); found {
+		// Leave the moves applied (the diff is relative to dy.sites) but
+		// mark every cell untrusted until a full rebuild succeeds.
+		dy.stale = true
+		dy.grid.ClearDirty()
+		dy.clearFlags()
+		return nil, &ErrCoincidentSites{I: i, J: j}
+	}
+	box := dy.diag.box
+	for i := range dy.sites {
+		if !dy.flag[i] {
+			r := 2 * dy.cover[i]
+			if !dy.grid.DirtyWithin(dy.sites[i], r+geom.Eps*(1+r)) {
+				continue
+			}
+		}
+		cell, ok := makeCellPruned(i, dy.sites, box, dy.grid, &dy.sc)
+		if !ok {
+			cell = makeCell(i, dy.sites, box)
+		}
+		dy.diag.cells[i] = cell
+		dy.cover[i] = cell.Region.FarthestVertexDist(cell.Site)
+	}
+	dy.grid.ClearDirty()
+	dy.clearFlags()
+	return dy.diag, nil
+}
+
+// movedCoincidence scans the moved sites' neighborhoods for coincident
+// pairs and returns the lexicographically smallest — the same pair the
+// ascending all-pairs scan reports, because every new coincidence
+// involves at least one moved site (the previous configuration was
+// coincidence-free).
+func (dy *Dynamic) movedCoincidence() (int, int, bool) {
+	bi, bj := -1, -1
+	for _, m := range dy.moved {
+		mi := int(m)
+		dy.grid.VisitNeighborhood(dy.sites[mi], geom.Eps, func(j int, d float64) {
+			if j == mi || d > geom.Eps {
+				return
+			}
+			lo, hi := mi, j
+			if lo > hi {
+				lo, hi = hi, lo
+			}
+			if bi < 0 || lo < bi || (lo == bi && hi < bj) {
+				bi, bj = lo, hi
+			}
+		})
+	}
+	return bi, bj, bi >= 0
+}
+
+func (dy *Dynamic) clearFlags() {
+	for _, i := range dy.moved {
+		dy.flag[i] = false
+	}
+}
+
+// full rebuilds everything from the tracked site slice. Small sets go
+// through New (which picks the brute scan); large sets run the pruned
+// construction over the persistent grid so its buffers stay warm.
+func (dy *Dynamic) full() error {
+	n := len(dy.sites)
+	if n < 2 {
+		dy.grid = nil
+		dy.stale = true
+		return ErrTooFewSites
+	}
+	if len(dy.flag) != n {
+		dy.flag = make([]bool, n)
+	}
+	dy.bx0, dy.by0, dy.bx1, dy.by1 = siteBounds(dy.sites)
+	if n < pruneMinSites {
+		dy.grid = nil
+		dy.cover = dy.cover[:0]
+		d, err := New(dy.sites)
+		if err != nil {
+			dy.stale = true
+			return err
+		}
+		dy.diag = d
+		dy.stale = false
+		return nil
+	}
+	if dy.grid == nil {
+		dy.grid = spatial.NewGrid(dy.sites)
+	} else {
+		dy.grid.Rebuild(dy.sites)
+	}
+	g := dy.grid
+	for i := 0; i < n; i++ {
+		minJ := -1
+		g.VisitNeighborhood(dy.sites[i], geom.Eps, func(j int, d float64) {
+			if j > i && d <= geom.Eps && (minJ < 0 || j < minJ) {
+				minJ = j
+			}
+		})
+		if minJ >= 0 {
+			dy.stale = true
+			return &ErrCoincidentSites{I: i, J: minJ}
+		}
+	}
+	box := boundingBox(dy.sites)
+	if dy.diag == nil || len(dy.diag.cells) != n {
+		dy.diag = &Diagram{cells: make([]Cell, n)}
+	}
+	dy.diag.box = box
+	if len(dy.cover) != n {
+		dy.cover = make([]float64, n)
+	}
+	for i := range dy.sites {
+		cell, ok := makeCellPruned(i, dy.sites, box, g, &dy.sc)
+		if !ok {
+			cell = makeCell(i, dy.sites, box)
+		}
+		dy.diag.cells[i] = cell
+		dy.cover[i] = cell.Region.FarthestVertexDist(cell.Site)
+	}
+	dy.stale = false
+	return nil
+}
+
+// siteBounds returns the axis-aligned bounds of the sites; any change
+// moves the clipping box, which enters every region, so Update falls
+// back to a full rebuild.
+func siteBounds(sites []geom.Point) (x0, y0, x1, y1 float64) {
+	x0, y0 = sites[0].X, sites[0].Y
+	x1, y1 = x0, y0
+	for _, p := range sites[1:] {
+		if p.X < x0 {
+			x0 = p.X
+		}
+		if p.X > x1 {
+			x1 = p.X
+		}
+		if p.Y < y0 {
+			y0 = p.Y
+		}
+		if p.Y > y1 {
+			y1 = p.Y
+		}
+	}
+	return
+}

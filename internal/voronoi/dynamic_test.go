@@ -1,0 +1,158 @@
+package voronoi
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"waggle/internal/geom"
+)
+
+// sameCells asserts got is cell-for-cell identical to want: granular and
+// nearest-site bit-equal, region vertices byte-equal (both sides come
+// from the same deterministic construction over the same sites).
+func sameCells(t *testing.T, stage string, got, want *Diagram) {
+	t.Helper()
+	if got.Len() != want.Len() {
+		t.Fatalf("%s: %d cells, want %d", stage, got.Len(), want.Len())
+	}
+	for i := 0; i < got.Len(); i++ {
+		g, w := got.Cell(i), want.Cell(i)
+		if g.Site != w.Site || g.Granular != w.Granular || g.NearestSite != w.NearestSite {
+			t.Fatalf("%s: cell %d diverged: granular %+v nearest %d, want %+v %d",
+				stage, i, g.Granular, g.NearestSite, w.Granular, w.NearestSite)
+		}
+		gv, wv := g.Region.Vertices(), w.Region.Vertices()
+		if len(gv) != len(wv) {
+			t.Fatalf("%s: cell %d region has %d vertices, want %d", stage, i, len(gv), len(wv))
+		}
+		for k := range gv {
+			if gv[k] != wv[k] {
+				t.Fatalf("%s: cell %d region vertex %d = %v, want %v", stage, i, k, gv[k], wv[k])
+			}
+		}
+	}
+}
+
+// fresh builds the reference diagram the way New would, calling the
+// pruned construction directly at sizes where New picks it.
+func fresh(t *testing.T, sites []geom.Point) *Diagram {
+	t.Helper()
+	d, err := New(sites)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+// TestDynamicMatchesFresh is the dirty-cell property test: a diagram
+// maintained by Dynamic.Update across random walks — interior jitter
+// (incremental path), hull moves (bounding-box change, full fallback),
+// mass moves past the rebuild fraction — must be cell-for-cell identical
+// to a from-scratch New after every update.
+func TestDynamicMatchesFresh(t *testing.T) {
+	for _, n := range []int{16, 256, 600} {
+		n := n
+		t.Run(fmt.Sprintf("n=%d", n), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(int64(29 + n)))
+			sites := make([]geom.Point, n)
+			for i := range sites {
+				sites[i] = geom.Pt(rng.Float64()*500, rng.Float64()*500)
+			}
+			dy, err := NewDynamic(sites)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sameCells(t, "initial", dy.Diagram(), fresh(t, sites))
+			rounds := 20
+			if n >= 600 {
+				rounds = 8
+			}
+			for round := 0; round < rounds; round++ {
+				switch round % 4 {
+				case 3:
+					// Mass move past the rebuild fraction.
+					for m := 0; m < n/2; m++ {
+						i := rng.Intn(n)
+						sites[i] = geom.Pt(rng.Float64()*500, rng.Float64()*500)
+					}
+				default:
+					// A few local moves; occasionally a far teleport that
+					// may stretch the bounding box.
+					moves := rng.Intn(n/8+1) + 1
+					for m := 0; m < moves; m++ {
+						i := rng.Intn(n)
+						if rng.Intn(10) == 0 {
+							sites[i] = geom.Pt(rng.Float64()*700-100, rng.Float64()*700-100)
+						} else {
+							sites[i] = geom.Pt(sites[i].X+rng.NormFloat64(), sites[i].Y+rng.NormFloat64())
+						}
+					}
+				}
+				got, err := dy.Update(sites)
+				if err != nil {
+					t.Fatalf("round %d: %v", round, err)
+				}
+				sameCells(t, fmt.Sprintf("round %d", round), got, fresh(t, sites))
+			}
+			// No-op update returns the cached diagram.
+			again, err := dy.Update(sites)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if again != dy.Diagram() {
+				t.Fatal("no-op Update did not return the cached diagram")
+			}
+			// Site-count change forces the full path.
+			sites = append(sites, geom.Pt(-40, 620))
+			got, err := dy.Update(sites)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sameCells(t, "grown", got, fresh(t, sites))
+		})
+	}
+}
+
+// TestDynamicCoincidentParity: an update that creates coincident sites
+// must report the same pair as New's scan — the lexicographically
+// smallest — and leave the tracker usable for the next valid update.
+func TestDynamicCoincidentParity(t *testing.T) {
+	const n = 300
+	rng := rand.New(rand.NewSource(17))
+	sites := make([]geom.Point, n)
+	for i := range sites {
+		sites[i] = geom.Pt(rng.Float64()*300, rng.Float64()*300)
+	}
+	dy, err := NewDynamic(sites)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two coincidences at once: (40, 220) and (10, 90). The ascending
+	// scan reports (10, 90) first.
+	sites[220] = sites[40]
+	sites[90] = sites[10]
+	_, err = dy.Update(sites)
+	var ce *ErrCoincidentSites
+	if !errors.As(err, &ce) {
+		t.Fatalf("Update on coincident sites = %v", err)
+	}
+	_, werr := New(sites)
+	var we *ErrCoincidentSites
+	if !errors.As(werr, &we) {
+		t.Fatalf("New on coincident sites = %v", werr)
+	}
+	if ce.I != we.I || ce.J != we.J {
+		t.Fatalf("coincidence pair (%d, %d), want New's (%d, %d)", ce.I, ce.J, we.I, we.J)
+	}
+	// Resolve the coincidences; the tracker must recover with a full
+	// rebuild and match fresh again.
+	sites[220] = geom.Pt(301, 17)
+	sites[90] = geom.Pt(302, 280)
+	got, err := dy.Update(sites)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameCells(t, "recovered", got, fresh(t, sites))
+}
