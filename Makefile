@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: verify build vet test race bench bench-json bench-check bench-step chaos-check obs-check replay-check vulncheck
+.PHONY: verify build vet test race bench bench-json bench-check bench-step bench-ckpt chaos-check obs-check replay-check vulncheck
 
 verify: build vet race bench-check chaos-check obs-check replay-check vulncheck
 
@@ -37,6 +37,13 @@ bench-json:
 bench-step:
 	$(GO) run ./cmd/waggle-bench -step -out BENCH_step.json
 
+# Checkpoint codec run: save/restore latency and bytes for the JSON v1
+# envelope, the binary v2 wire format, and base + delta-frame chains, at
+# n up to 1,000,000. Writes BENCH_ckpt.json (schema waggle-bench-ckpt/v1;
+# the checkpoint table in EXPERIMENTS.md).
+bench-ckpt:
+	$(GO) run ./cmd/waggle-bench -ckpt -out BENCH_ckpt.json
+
 # Smoke gate for the benchmark trajectory: every in-package benchmark
 # compiles and runs one iteration, and every waggle-bench scenario body
 # executes once — including the step-engine scaling bodies at tiny n.
@@ -46,6 +53,7 @@ bench-check:
 	$(GO) test -run xxx -bench . -benchtime 1x ./...
 	$(GO) run ./cmd/waggle-bench -smoke
 	$(GO) run ./cmd/waggle-bench -step -smoke
+	$(GO) run ./cmd/waggle-bench -ckpt -smoke
 
 # Chaos smoke: one fast scenario per fault family through the
 # fault-injection harness. The full table (EXPERIMENTS.md) is
@@ -66,6 +74,7 @@ chaos-check:
 replay-check:
 	$(GO) test -run TestGoldenReplay -count=1 .
 	$(GO) run ./cmd/waggle-chaos -resume-check -scenario combined
+	$(GO) run ./cmd/waggle-chaos -resume-check -scenario combined -ckpt-codec delta
 
 # Observability smoke: run a short instrumented sim, validate that the
 # Prometheus text exposition parses and the JSON snapshot round-trips

@@ -12,6 +12,7 @@ import (
 	"waggle/internal/fault"
 	"waggle/internal/protocol"
 	"waggle/internal/sim"
+	"waggle/internal/wire"
 )
 
 // Checkpoint is a versioned (schema "waggle-ckpt/v1"), resumable image
@@ -49,11 +50,34 @@ var (
 	ErrRestoreConfig = errors.New("waggle: checkpoint config does not match the swarm being built")
 )
 
-// SaveCheckpoint writes ck to path atomically (temp file + rename), in
-// the versioned, CRC32-checksummed format.
-func SaveCheckpoint(path string, ck *Checkpoint) error { return ckpt.SaveFile(path, ck) }
+// SaveCheckpoint writes ck to path atomically (temp file + fsync +
+// rename + directory fsync), in the versioned, CRC32-checksummed
+// format of the chosen codec: the JSON envelope by default, the
+// compact binary format with CodecBinary. CodecDelta is meaningful
+// only for a periodic writer (Swarm.NewCheckpointWriter); for a
+// single-shot save it degrades to a binary base snapshot.
+func SaveCheckpoint(path string, ck *Checkpoint, codec ...CheckpointCodec) error {
+	c := CodecJSON
+	switch len(codec) {
+	case 0:
+	case 1:
+		c = codec[0]
+	default:
+		return fmt.Errorf("waggle: SaveCheckpoint takes at most one codec, got %d", len(codec))
+	}
+	switch c {
+	case CodecJSON:
+		return ckpt.SaveFile(path, ck)
+	case CodecBinary, CodecDelta:
+		return ckpt.SaveFile(path, ck, wire.CodecName)
+	default:
+		return fmt.Errorf("waggle: unknown checkpoint codec %d", int(c))
+	}
+}
 
-// LoadCheckpoint reads and validates the checkpoint at path. Failure
+// LoadCheckpoint reads and validates the checkpoint at path,
+// auto-detecting the format (JSON envelope, binary, or binary
+// base+delta chain — chains are folded into one checkpoint). Failure
 // modes are typed: ErrCheckpointSchema, ErrCheckpointChecksum,
 // ErrCheckpointTruncated.
 func LoadCheckpoint(path string) (*Checkpoint, error) { return ckpt.LoadFile(path) }
@@ -430,31 +454,59 @@ func (s *Swarm) captureState() (ckpt.State, error) {
 	if s.messenger != nil {
 		st.Messenger = messengerState(s.messenger.inner.Snapshot())
 	}
-	if inj := w.Injector(); inj != nil {
-		if fi, ok := inj.(*fault.Injector); ok {
-			outage, jam := fi.WindowState()
-			fs := &ckpt.FaultState{Jam: jam}
-			if anyTrue(outage) {
-				fs.Outage = outage
-			}
-			st.Fault = fs
-		}
+	st.Fault = s.faultState()
+	var err error
+	if st.TraceDigest, err = s.traceDigest(); err != nil {
+		return ckpt.State{}, err
 	}
-	if s.opts.trace {
-		var buf bytes.Buffer
-		if err := s.WriteTraceCSV(&buf); err != nil {
-			return ckpt.State{}, fmt.Errorf("waggle: checkpoint trace digest: %w", err)
-		}
-		st.TraceDigest = ckpt.Digest(buf.Bytes())
-	}
-	if s.opts.observer != nil {
-		var buf bytes.Buffer
-		if err := s.opts.observer.DeterministicSnapshot().WriteJSON(&buf); err != nil {
-			return ckpt.State{}, fmt.Errorf("waggle: checkpoint obs digest: %w", err)
-		}
-		st.ObsDigest = ckpt.Digest(buf.Bytes())
+	if st.ObsDigest, err = s.obsDigest(); err != nil {
+		return ckpt.State{}, err
 	}
 	return st, nil
+}
+
+// faultState snapshots the injector's radio-window cursor, nil when the
+// swarm has no fault plan.
+func (s *Swarm) faultState() *ckpt.FaultState {
+	inj := s.net.World().Injector()
+	if inj == nil {
+		return nil
+	}
+	fi, ok := inj.(*fault.Injector)
+	if !ok {
+		return nil
+	}
+	outage, jam := fi.WindowState()
+	fs := &ckpt.FaultState{Jam: jam}
+	if anyTrue(outage) {
+		fs.Outage = outage
+	}
+	return fs
+}
+
+// traceDigest hashes the movement trace CSV ("" when tracing is off).
+func (s *Swarm) traceDigest() (string, error) {
+	if !s.opts.trace {
+		return "", nil
+	}
+	var buf bytes.Buffer
+	if err := s.WriteTraceCSV(&buf); err != nil {
+		return "", fmt.Errorf("waggle: checkpoint trace digest: %w", err)
+	}
+	return ckpt.Digest(buf.Bytes()), nil
+}
+
+// obsDigest hashes the deterministic observability snapshot ("" when no
+// observer is attached).
+func (s *Swarm) obsDigest() (string, error) {
+	if s.opts.observer == nil {
+		return "", nil
+	}
+	var buf bytes.Buffer
+	if err := s.opts.observer.DeterministicSnapshot().WriteJSON(&buf); err != nil {
+		return "", fmt.Errorf("waggle: checkpoint obs digest: %w", err)
+	}
+	return ckpt.Digest(buf.Bytes()), nil
 }
 
 // schedulerState extracts the RNG stream position of the activation
@@ -466,6 +518,19 @@ func schedulerState(sc sim.Scheduler) (uint64, []int) {
 	}
 	if rf, ok := sc.(*sim.RandomFair); ok {
 		return rf.StreamState()
+	}
+	return 0, nil
+}
+
+// schedulerStateRef is schedulerState without the idle copy: the slice
+// aliases the scheduler and must not be retained across a step. The
+// delta checkpointer diffs it against its mirror on every save.
+func schedulerStateRef(sc sim.Scheduler) (uint64, []int) {
+	if fs, ok := sc.(sim.FirstSync); ok {
+		sc = fs.Inner
+	}
+	if rf, ok := sc.(*sim.RandomFair); ok {
+		return rf.StreamStateRef()
 	}
 	return 0, nil
 }

@@ -10,6 +10,8 @@
 //	waggle-bench -smoke               # run every scenario body once, write nothing
 //	waggle-bench -step                # step-engine scaling run, writes BENCH_step.json
 //	waggle-bench -step -smoke         # tiny step-engine run, write nothing
+//	waggle-bench -ckpt                # checkpoint codec run, writes BENCH_ckpt.json
+//	waggle-bench -ckpt -smoke         # n=10k ratio check, write nothing
 package main
 
 import (
@@ -53,15 +55,26 @@ type scenario struct {
 }
 
 func main() {
-	out := flag.String("out", "", "output JSON path (default BENCH_spatial.json, or BENCH_step.json with -step)")
+	out := flag.String("out", "", "output JSON path (default BENCH_spatial.json; BENCH_step.json with -step; BENCH_ckpt.json with -ckpt)")
 	smoke := flag.Bool("smoke", false, "run each scenario body once and write nothing")
 	step := flag.Bool("step", false, "run the step-engine scaling benchmark instead of the spatial scenarios")
+	ckpt := flag.Bool("ckpt", false, "run the checkpoint-codec benchmark (json vs binary vs delta) instead of the spatial scenarios")
 	flag.Parse()
 	if *step {
 		if *out == "" {
 			*out = "BENCH_step.json"
 		}
 		if err := runStep(*out, *smoke); err != nil {
+			fmt.Fprintln(os.Stderr, "waggle-bench:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *ckpt {
+		if *out == "" {
+			*out = "BENCH_ckpt.json"
+		}
+		if err := runCkpt(*out, *smoke); err != nil {
 			fmt.Fprintln(os.Stderr, "waggle-bench:", err)
 			os.Exit(1)
 		}

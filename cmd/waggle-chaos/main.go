@@ -40,8 +40,9 @@ type config struct {
 	listen   string // -listen: introspection endpoint address
 	block    bool   // keep serving after the run until interrupted
 
-	resumeCheck bool // -resume-check: verify kill-and-resume determinism and exit
-	killAt      int  // -kill-at: instant of the simulated death
+	resumeCheck bool   // -resume-check: verify kill-and-resume determinism and exit
+	killAt      int    // -kill-at: instant of the simulated death
+	ckptCodec   string // -ckpt-codec: serialization for the resume-check round trip
 }
 
 func main() {
@@ -55,6 +56,7 @@ func main() {
 	flag.StringVar(&cfg.listen, "listen", "", "serve the observability endpoint (/metrics, /trace, pprof) on this address")
 	flag.BoolVar(&cfg.resumeCheck, "resume-check", false, "kill each scenario mid-plan, checkpoint, resume, and verify byte-identical traces; exit nonzero on divergence")
 	flag.IntVar(&cfg.killAt, "kill-at", 150, "instant of the simulated process death for -resume-check")
+	flag.StringVar(&cfg.ckptCodec, "ckpt-codec", "binary", "checkpoint serialization for -resume-check: json|binary|delta")
 	flag.Parse()
 	cfg.block = cfg.listen != ""
 	if err := run(cfg); err != nil {
@@ -118,6 +120,10 @@ func run(cfg config) error {
 // — and verifies the movement traces and reports are byte-identical.
 // One scenario can be selected with -scenario; the default sweeps all.
 func resumeCheck(cfg config, engine waggle.EngineMode) error {
+	codec, err := waggle.ParseCheckpointCodec(cfg.ckptCodec)
+	if err != nil {
+		return err
+	}
 	scenarios := sweep.ChaosScenarios(cfg.seed)
 	if cfg.scenario != "" {
 		sc, err := sweep.FindChaosScenario(cfg.scenario, cfg.seed)
@@ -135,15 +141,15 @@ func resumeCheck(cfg config, engine waggle.EngineMode) error {
 		if err != nil {
 			return err
 		}
-		got, err := sweep.RunChaosScenarioResumed(sc, engine, killAt)
+		got, err := sweep.RunChaosScenarioResumedCodec(sc, engine, killAt, codec)
 		if err != nil {
 			return err
 		}
 		if got.TraceCSV != want.TraceCSV {
-			return fmt.Errorf("resume-check %s: resumed trace diverges from the uninterrupted run (kill at t=%d)", sc.Name, killAt)
+			return fmt.Errorf("resume-check %s: resumed trace diverges from the uninterrupted run (kill at t=%d, codec %s)", sc.Name, killAt, codec)
 		}
-		fmt.Printf("resume-check ok: %-16s killed at t=%-5d trace byte-identical (%d bytes)\n",
-			sc.Name, killAt, len(want.TraceCSV))
+		fmt.Printf("resume-check ok: %-16s killed at t=%-5d codec=%-6s trace byte-identical (%d bytes)\n",
+			sc.Name, killAt, codec, len(want.TraceCSV))
 	}
 	return nil
 }

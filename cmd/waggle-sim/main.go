@@ -48,6 +48,7 @@ type config struct {
 
 	ckptPath  string // -checkpoint: write checkpoints to this file
 	ckptEvery int    // -checkpoint-every: save every N instants while waiting
+	ckptCodec string // -ckpt-codec: checkpoint serialization format
 	resume    string // -resume: continue a run from this checkpoint file
 }
 
@@ -71,6 +72,7 @@ func main() {
 	flag.BoolVar(&cfg.obsCheck, "obs-check", false, "run a short instrumented sim, validate the metrics pipeline, and exit")
 	flag.StringVar(&cfg.ckptPath, "checkpoint", "", "write checkpoints to this file (atomic; see -checkpoint-every)")
 	flag.IntVar(&cfg.ckptEvery, "checkpoint-every", 0, "while waiting for delivery, save a checkpoint every N instants (requires -checkpoint)")
+	flag.StringVar(&cfg.ckptCodec, "ckpt-codec", "delta", "checkpoint serialization: json (debuggable v1 envelope), binary (compact v2), delta (binary base + per-save delta frames)")
 	flag.StringVar(&cfg.resume, "resume", "", "resume a run from this checkpoint file instead of starting fresh")
 	flag.Parse()
 	cfg.block = cfg.listen != ""
@@ -178,7 +180,22 @@ func runResumed(cfg config) error {
 // finishRun drives the swarm to the first delivery — saving periodic
 // checkpoints if configured — and prints the reports.
 func finishRun(cfg config, swarm *waggle.Swarm, budget int) error {
-	msgs, steps, err := deliverWithCheckpoints(cfg, swarm, budget)
+	var cw *waggle.CheckpointWriter
+	if cfg.ckptPath != "" {
+		codec, err := waggle.ParseCheckpointCodec(cfg.ckptCodec)
+		if err != nil {
+			return err
+		}
+		// One writer for the whole run: with the delta codec the periodic
+		// saves after the first append only what changed (and reuse the
+		// recorder's merged input log instead of re-encoding it), instead
+		// of rewriting the full snapshot every interval.
+		cw, err = swarm.NewCheckpointWriter(cfg.ckptPath, codec)
+		if err != nil {
+			return err
+		}
+	}
+	msgs, steps, err := deliverWithCheckpoints(cfg, swarm, budget, cw)
 	if err != nil {
 		return err
 	}
@@ -190,16 +207,12 @@ func finishRun(cfg config, swarm *waggle.Swarm, budget int) error {
 		fmt.Printf("sender excursions: %d; sender distance: %.2f; min pairwise distance: %.3f\n",
 			swarm.SentBits(sender), swarm.TotalDistance(sender), swarm.MinPairwiseDistance())
 	}
-	if cfg.ckptPath != "" {
-		ck, err := swarm.Checkpoint()
-		if err != nil {
-			return err
-		}
-		if err := waggle.SaveCheckpoint(cfg.ckptPath, ck); err != nil {
+	if cw != nil {
+		if err := cw.Save(); err != nil {
 			return err
 		}
 		if !cfg.quiet {
-			fmt.Printf("final checkpoint (t=%d) written to %s\n", swarm.Time(), cfg.ckptPath)
+			fmt.Printf("final checkpoint (t=%d, %s) written to %s\n", swarm.Time(), cw.Codec(), cfg.ckptPath)
 		}
 	}
 	if cfg.tracePath != "" {
@@ -223,10 +236,11 @@ func finishRun(cfg config, swarm *waggle.Swarm, budget int) error {
 }
 
 // deliverWithCheckpoints waits for the first delivery. With
-// -checkpoint-every it runs the budget in chunks, atomically saving a
-// checkpoint after each undelivered chunk so an interrupted run can be
-// continued with -resume from at most one chunk back.
-func deliverWithCheckpoints(cfg config, swarm *waggle.Swarm, budget int) ([]waggle.Message, int, error) {
+// -checkpoint-every it runs the budget in chunks, saving a checkpoint
+// after each undelivered chunk so an interrupted run can be continued
+// with -resume from at most one chunk back. The writer decides how: a
+// full atomic rewrite (json/binary) or an appended delta frame.
+func deliverWithCheckpoints(cfg config, swarm *waggle.Swarm, budget int, cw *waggle.CheckpointWriter) ([]waggle.Message, int, error) {
 	if cfg.ckptEvery <= 0 {
 		return swarm.RunUntilDelivered(1, budget)
 	}
@@ -244,15 +258,15 @@ func deliverWithCheckpoints(cfg config, swarm *waggle.Swarm, budget int) ([]wagg
 		if !errors.Is(err, waggle.ErrNotDelivered) {
 			return nil, total, err
 		}
-		ck, ckErr := swarm.Checkpoint()
-		if ckErr != nil {
-			return nil, total, ckErr
-		}
-		if ckErr := waggle.SaveCheckpoint(cfg.ckptPath, ck); ckErr != nil {
+		if ckErr := cw.Save(); ckErr != nil {
 			return nil, total, ckErr
 		}
 		if !cfg.quiet {
-			fmt.Printf("checkpoint (t=%d) written to %s\n", swarm.Time(), cfg.ckptPath)
+			kind := "snapshot"
+			if cw.LastSaveWasDelta() {
+				kind = fmt.Sprintf("delta +%dB, chain %d", cw.LastSaveBytes(), cw.ChainLen())
+			}
+			fmt.Printf("checkpoint (t=%d, %s) written to %s\n", swarm.Time(), kind, cfg.ckptPath)
 		}
 		if total >= budget {
 			return nil, total, err

@@ -290,6 +290,25 @@ func (r *Recorder) Ops() []Input {
 	return append([]Input(nil), r.ops...)
 }
 
+// OpsSince returns a copy of the log entries from index from onward.
+// Because Record only ever appends entries or grows the final entry's
+// run-length count, the prefix before from is immutable once observed —
+// a periodic saver can remember the previous Len()-1 and fetch just the
+// (possibly re-merged) tail instead of re-copying the whole log on
+// every save. A from past the end returns nil; a negative from is
+// treated as zero.
+func (r *Recorder) OpsSince(from int) []Input {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if from < 0 {
+		from = 0
+	}
+	if from >= len(r.ops) {
+		return nil
+	}
+	return append([]Input(nil), r.ops[from:]...)
+}
+
 // Len returns how many (merged) entries the log holds.
 func (r *Recorder) Len() int {
 	r.mu.Lock()

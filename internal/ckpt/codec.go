@@ -8,6 +8,7 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"syscall"
 )
 
 // Typed decode failures. Each failure mode has its own sentinel so
@@ -23,6 +24,46 @@ var (
 	// typically a write cut short.
 	ErrTruncated = errors.New("ckpt: truncated or malformed checkpoint")
 )
+
+// Codec is a pluggable checkpoint serialization format. The JSON
+// envelope ("waggle-ckpt/v1") is built in; the binary format
+// ("waggle-ckpt/v2", package internal/wire) registers itself on import.
+// The registry lives here rather than in the wire package so decoding
+// can auto-detect formats without this package importing its own
+// codecs.
+type Codec struct {
+	// Name selects the codec in SaveFile/EncodeAs ("json", "binary").
+	Name string
+	// Encode serializes a checkpoint to the codec's wire form.
+	Encode func(*Checkpoint) ([]byte, error)
+	// Decode parses the codec's wire form, returning the package's
+	// typed sentinels (ErrSchema/ErrChecksum/ErrTruncated) on failure.
+	Decode func([]byte) (*Checkpoint, error)
+	// Detect reports whether data is in this codec's format; Decode
+	// auto-detection tries each registered codec before falling back to
+	// the JSON envelope.
+	Detect func([]byte) bool
+}
+
+var codecs []Codec
+
+// RegisterCodec adds a codec to the auto-detection chain. Called from
+// codec package init functions; not safe for concurrent use.
+func RegisterCodec(c Codec) {
+	codecs = append(codecs, c)
+}
+
+// LookupCodec finds a registered codec by name. The built-in JSON
+// envelope is not in the registry; callers use Encode/Decode directly
+// for it (or pass "json" to SaveFile).
+func LookupCodec(name string) (Codec, bool) {
+	for _, c := range codecs {
+		if c.Name == name {
+			return c, true
+		}
+	}
+	return Codec{}, false
+}
 
 // envelope is the on-disk frame: the schema tag, an IEEE CRC32 over the
 // raw body bytes, and the body itself. The CRC is computed over the
@@ -52,10 +93,33 @@ func Encode(ck *Checkpoint) ([]byte, error) {
 	return data, nil
 }
 
-// Decode parses and validates the wire form: envelope shape, schema
-// version, body checksum, body shape — in that order, so the error
-// names the outermost failure.
+// EncodeAs serializes a checkpoint with the named codec. The empty
+// string and "json" select the built-in envelope; any other name must
+// have been registered (importing the codec package registers it).
+func EncodeAs(ck *Checkpoint, codec string) ([]byte, error) {
+	switch codec {
+	case "", "json":
+		return Encode(ck)
+	}
+	c, ok := LookupCodec(codec)
+	if !ok {
+		return nil, fmt.Errorf("ckpt: unknown codec %q (codec package not imported?)", codec)
+	}
+	return c.Encode(ck)
+}
+
+// Decode parses and validates the wire form, auto-detecting the format:
+// each registered codec's Detect is tried first (binary files announce
+// themselves with a magic), then the JSON envelope — so a loader never
+// needs to know which codec wrote a file. For the envelope the checks
+// run in order — shape, schema version, body checksum, body shape — so
+// the error names the outermost failure.
 func Decode(data []byte) (*Checkpoint, error) {
+	for _, c := range codecs {
+		if c.Detect(data) {
+			return c.Decode(data)
+		}
+	}
 	var env envelope
 	if err := json.Unmarshal(data, &env); err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrTruncated, err)
@@ -94,15 +158,34 @@ func Load(r io.Reader) (*Checkpoint, error) {
 	return Decode(data)
 }
 
-// SaveFile writes the checkpoint atomically: encode, write to a
-// same-directory temp file, fsync, rename. A crash mid-save leaves
-// either the previous checkpoint or none — never a torn file that
-// Decode would then reject at the worst possible moment.
-func SaveFile(path string, ck *Checkpoint) error {
-	data, err := Encode(ck)
+// SaveFile writes the checkpoint atomically in the named codec
+// (default: the JSON envelope; at most one codec name). A crash
+// mid-save leaves either the previous checkpoint or none — never a
+// torn file that Decode would then reject at the worst possible
+// moment.
+func SaveFile(path string, ck *Checkpoint, codec ...string) error {
+	name := ""
+	switch len(codec) {
+	case 0:
+	case 1:
+		name = codec[0]
+	default:
+		return fmt.Errorf("ckpt: SaveFile takes at most one codec, got %d", len(codec))
+	}
+	data, err := EncodeAs(ck, name)
 	if err != nil {
 		return err
 	}
+	return WriteFileAtomic(path, data)
+}
+
+// WriteFileAtomic writes data to path via a same-directory temp file:
+// write, fsync the file, rename into place, fsync the directory. The
+// file fsync keeps the rename from publishing a name whose contents
+// are still in flight; the directory fsync makes the rename itself
+// durable, so a crash immediately after a reported save cannot roll
+// the path back to the previous checkpoint (or to nothing).
+func WriteFileAtomic(path string, data []byte) error {
 	dir := filepath.Dir(path)
 	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-*")
 	if err != nil {
@@ -126,6 +209,25 @@ func SaveFile(path string, ck *Checkpoint) error {
 	if err := os.Rename(tmpName, path); err != nil {
 		os.Remove(tmpName)
 		return fmt.Errorf("ckpt: rename into place: %w", err)
+	}
+	return syncDir(dir)
+}
+
+// syncDir fsyncs a directory so a just-renamed entry survives a crash.
+// Filesystems that cannot sync a directory handle (some network and
+// overlay mounts) degrade to the pre-sync guarantee rather than
+// failing the save.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return nil
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil {
+		if errors.Is(err, syscall.EINVAL) || errors.Is(err, syscall.ENOTSUP) || errors.Is(err, syscall.ENOTTY) {
+			return nil
+		}
+		return fmt.Errorf("ckpt: sync dir %s: %w", dir, err)
 	}
 	return nil
 }

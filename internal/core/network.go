@@ -78,6 +78,13 @@ type Network struct {
 	// would strand the surplus: the next call's window used to start at
 	// len(delivered), silently skipping them.
 	consumed int
+	// collectedTime is the world instant the last endpoint sweep ran at.
+	// Endpoints only accumulate receptions inside World.Step (protocol
+	// robots deliver during their own activation), so a second sweep at
+	// the same instant cannot find anything new — skipping it makes
+	// Delivered/DeliveredSince O(new deliveries) between steps instead of
+	// O(n), which the delta checkpoint path leans on at large n.
+	collectedTime int
 
 	// obs is the optional observability hook: send/delivery counters
 	// and trace events. Nil means disabled.
@@ -96,7 +103,7 @@ func NewNetwork(world *sim.World, scheduler sim.Scheduler, endpoints []*protocol
 	if world.N() != len(endpoints) {
 		return nil, fmt.Errorf("core: %d endpoints for %d robots", len(endpoints), world.N())
 	}
-	return &Network{world: world, scheduler: scheduler, endpoints: endpoints}, nil
+	return &Network{world: world, scheduler: scheduler, endpoints: endpoints, collectedTime: -1}, nil
 }
 
 // World exposes the underlying simulation.
@@ -308,6 +315,10 @@ func (n *Network) allIdle() bool {
 }
 
 func (n *Network) collect() {
+	if n.collectedTime == n.world.Time() {
+		return
+	}
+	n.collectedTime = n.world.Time()
 	for _, e := range n.endpoints {
 		recs := e.Receive()
 		if o := n.obs; o != nil && len(recs) > 0 {

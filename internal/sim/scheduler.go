@@ -126,6 +126,18 @@ func (s *RandomFair) StreamState() (draws uint64, idle []int) {
 	return draws, idle
 }
 
+// StreamStateRef is StreamState without the defensive copy: the
+// returned idle slice aliases the scheduler's own counters and is only
+// valid until the next Next call. The delta checkpointer reads (never
+// retains) it every capture, where copying a million-entry slice would
+// dominate the save.
+func (s *RandomFair) StreamStateRef() (draws uint64, idle []int) {
+	if s.src != nil {
+		draws = s.src.Draws()
+	}
+	return draws, s.idle
+}
+
 var _ Scheduler = (*RandomFair)(nil)
 
 // Starver is an adversarial-but-fair scheduler: it delays the Victim

@@ -164,6 +164,14 @@ type World struct {
 	activeSlot  []int32
 	cellScratch []cellBatch
 
+	// touchedAt, when non-nil (EnableTouchTracking), records per robot
+	// the instant-plus-one of its last position write (0 = never moved
+	// since tracking began). Both write sites — the simultaneous-move
+	// apply loop in Step and Teleport — stamp it, so a delta
+	// checkpointer can ask for exactly the robots that moved since its
+	// previous capture instead of scanning a million positions.
+	touchedAt []int
+
 	// inject is the optional fault-injection hook surface (see
 	// inject.go); nil means a fault-free world.
 	inject Injector
@@ -419,6 +427,9 @@ func (w *World) Step(s Scheduler) ([]int, error) {
 		from := w.pos[i]
 		dest := w.dests[k]
 		w.pos[i] = dest
+		if w.touchedAt != nil {
+			w.touchedAt[i] = w.time + 1
+		}
 		w.robots[i].Frame = w.robots[i].Frame.WithOrigin(dest)
 		if w.trace != nil {
 			w.trace.record(w.time, i, from, dest)
@@ -475,11 +486,42 @@ func (w *World) Teleport(i int, to geom.Point) error {
 	}
 	from := w.pos[i]
 	w.pos[i] = to
+	if w.touchedAt != nil {
+		w.touchedAt[i] = w.time + 1
+	}
 	w.robots[i].Frame = w.robots[i].Frame.WithOrigin(to)
 	if w.trace != nil {
 		w.trace.record(w.time, i, from, to)
 	}
 	return nil
+}
+
+// EnableTouchTracking starts recording, per robot, the instant of its
+// last position write. Idempotent; costs one int write per applied
+// move. Delta checkpointing turns it on so a capture touches only the
+// robots that moved since the previous one.
+func (w *World) EnableTouchTracking() {
+	if w.touchedAt == nil {
+		w.touchedAt = make([]int, len(w.robots))
+	}
+}
+
+// AppendTouchedSince appends to buf, in ascending order, every robot
+// whose position was written when the world clock read > sinceTime
+// (pass the Time() observed at the previous capture; the write stamp is
+// write-instant + 1, so "stamp > sinceTime" selects writes at or after
+// that moment). Tracking must have been enabled before the interval of
+// interest began. The result may be a superset of the robots whose
+// positions actually differ — a write can land exactly on the old
+// position, and a teleport just before the previous capture shares its
+// instant — so callers diff values, not indices.
+func (w *World) AppendTouchedSince(sinceTime int, buf []int) []int {
+	for i, t := range w.touchedAt {
+		if t > 0 && t > sinceTime {
+			buf = append(buf, i)
+		}
+	}
+	return buf
 }
 
 // Run advances the world until the predicate returns true or maxSteps

@@ -14,6 +14,7 @@ package sweep
 import (
 	"bytes"
 	"fmt"
+	"os"
 
 	"waggle"
 	"waggle/internal/geom"
@@ -580,6 +581,94 @@ func RunChaosScenarioResumed(sc ChaosScenario, engine waggle.EngineMode, killAt 
 			return nil, r.fail(err)
 		}
 		loaded, err := waggle.ReadCheckpoint(&wire)
+		if err != nil {
+			return nil, r.fail(err)
+		}
+		res, err := waggle.Restore(loaded, waggle.RestoreWithEngine(engine))
+		if err != nil {
+			return nil, r.fail(err)
+		}
+		r.s, r.radio, r.bm = res.Swarm, res.Radio, res.Messenger
+	}
+	if err := r.drive(killAt, sc.Budget); err != nil {
+		return nil, err
+	}
+	return r.result()
+}
+
+// RunChaosScenarioResumedCodec is RunChaosScenarioResumed parameterized
+// by checkpoint serialization. CodecJSON round-trips the checkpoint
+// through the in-memory v1 envelope (identical to
+// RunChaosScenarioResumed); CodecBinary saves and reloads a v2 binary
+// file; CodecDelta drives the run to killAt in chunks with a periodic
+// CheckpointWriter — so the file restored from is a real base +
+// delta-frame chain, folded by the loader — before the stack is
+// discarded and rebuilt. Whatever the format, the continuation must be
+// byte-identical to the uninterrupted run.
+func RunChaosScenarioResumedCodec(sc ChaosScenario, engine waggle.EngineMode, killAt int, codec waggle.CheckpointCodec) (*ChaosResult, error) {
+	if codec == waggle.CodecJSON {
+		return RunChaosScenarioResumed(sc, engine, killAt)
+	}
+	if killAt < 0 || killAt > sc.Budget {
+		return nil, fmt.Errorf("chaos %s: kill instant %d outside run budget %d", sc.Name, killAt, sc.Budget)
+	}
+	r, err := newChaosRun(sc, engine, true, nil)
+	if err != nil {
+		return nil, err
+	}
+	tmp, err := os.CreateTemp("", "waggle-chaos-*.ckptb")
+	if err != nil {
+		return nil, r.fail(err)
+	}
+	path := tmp.Name()
+	tmp.Close()
+	defer os.Remove(path)
+	saved := false
+	switch codec {
+	case waggle.CodecBinary:
+		if err := r.drive(0, killAt); err != nil {
+			return nil, err
+		}
+		if !r.done {
+			ck, err := r.s.Checkpoint()
+			if err != nil {
+				return nil, r.fail(err)
+			}
+			if err := waggle.SaveCheckpoint(path, ck, waggle.CodecBinary); err != nil {
+				return nil, r.fail(err)
+			}
+			saved = true
+		}
+	case waggle.CodecDelta:
+		cw, err := r.s.NewCheckpointWriter(path, waggle.CodecDelta)
+		if err != nil {
+			return nil, r.fail(err)
+		}
+		chunk := killAt / 4
+		if chunk < 1 {
+			chunk = 1
+		}
+		for t := 0; t < killAt && !r.done; {
+			next := t + chunk
+			if next > killAt {
+				next = killAt
+			}
+			if err := r.drive(t, next); err != nil {
+				return nil, err
+			}
+			t = next
+			if !r.done {
+				if err := cw.Save(); err != nil {
+					return nil, r.fail(err)
+				}
+				saved = true
+			}
+		}
+	default:
+		return nil, fmt.Errorf("chaos %s: unsupported checkpoint codec %v", sc.Name, codec)
+	}
+	if !r.done && saved {
+		loaded, err := waggle.LoadCheckpoint(path)
 		if err != nil {
 			return nil, r.fail(err)
 		}

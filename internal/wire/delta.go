@@ -1,0 +1,537 @@
+package wire
+
+import (
+	"fmt"
+	"math"
+
+	"waggle/internal/ckpt"
+)
+
+// Delta is the difference between two consecutive checkpoints of the
+// same run: everything needed to advance a folded Checkpoint from the
+// previous capture to the next one. Values are stored absolute (the
+// new value); the compression against the previous state happens at
+// encode time, so ApplyDelta needs no wire knowledge and the writer's
+// in-memory mirror and the loader's fold share one code path.
+//
+// The sparse fields exploit what actually changes between captures of
+// a large sparse-activation run: a handful of robots moved (PosChanged,
+// EndpointChanged), the input log only grew at its run-length-merged
+// tail (InputTailStart/InputTail), the delivery log only appended
+// (DeliveredTail), and the scheduler's per-robot idle counters moved
+// mostly in lockstep (IdleShift plus overrides).
+type Delta struct {
+	Time     int
+	Consumed int
+	// SchedulerDraws is the absolute RNG stream position.
+	SchedulerDraws uint64
+	// PosChanged lists robots whose position differs from the previous
+	// capture, ascending by index, with the new absolute position.
+	PosChanged []PosChange
+	// EndpointChanged lists robots whose endpoint observables differ,
+	// ascending by index, with the new absolute observable tuple.
+	EndpointChanged []EndpointChange
+	// DeliveredTail is the suffix appended to State.Delivered since the
+	// previous capture (the delivery log is append-only).
+	DeliveredTail []ckpt.MessageState
+	// InputTailStart and InputTail splice the input log: the folded log
+	// becomes inputs[:InputTailStart] + InputTail. The recorder only
+	// appends entries or grows the last entry's run-length count, so the
+	// tail is the shared-prefix remainder — usually one or two entries.
+	InputTailStart int
+	InputTail      []ckpt.Input
+	// HasIdle mirrors whether the new state carries scheduler idle
+	// counters at all (nil for synchronous schedulers). When set, the
+	// folded counters are expand(prev, IdleLen) + IdleShift with sparse
+	// absolute IdleOverrides — under random-fair scheduling every
+	// counter increments each step except the activated few, so the
+	// majority shift covers almost every robot.
+	HasIdle       bool
+	IdleLen       int
+	IdleShift     int
+	IdleOverrides []IdleOverride
+	// The subsystem snapshots are small; a changed one is carried whole.
+	RadioChanged     bool
+	Radio            *ckpt.RadioState
+	MessengerChanged bool
+	Messenger        *ckpt.MessengerState
+	FaultChanged     bool
+	Fault            *ckpt.FaultState
+	// Digests are absolute (cheap strings, recomputed per capture).
+	TraceDigest string
+	ObsDigest   string
+}
+
+// PosChange is one robot's new absolute position.
+type PosChange struct {
+	Index int
+	Pos   ckpt.XY
+}
+
+// EndpointChange is one robot's new absolute endpoint observables.
+type EndpointChange struct {
+	Index int
+	State ckpt.EndpointState
+}
+
+// IdleOverride is one robot's absolute idle counter where the majority
+// shift does not apply (the robots activated during the interval).
+type IdleOverride struct {
+	Index int
+	Value int
+}
+
+// ComputeDelta diffs two full checkpoints of the same run, cur against
+// prev. It is the reference producer (the facade's checkpoint writer
+// computes the same delta sparsely without materializing cur). The
+// robot count must not change between captures.
+func ComputeDelta(prev, cur *ckpt.Checkpoint) (*Delta, error) {
+	ps, cs := &prev.State, &cur.State
+	if len(ps.Positions) != len(cs.Positions) {
+		return nil, fmt.Errorf("wire: robot count changed between captures (%d -> %d)", len(ps.Positions), len(cs.Positions))
+	}
+	if len(ps.Endpoints) != len(cs.Endpoints) {
+		return nil, fmt.Errorf("wire: endpoint count changed between captures (%d -> %d)", len(ps.Endpoints), len(cs.Endpoints))
+	}
+	d := &Delta{
+		Time:           cs.Time,
+		Consumed:       cs.Consumed,
+		SchedulerDraws: cs.SchedulerDraws,
+		TraceDigest:    cs.TraceDigest,
+		ObsDigest:      cs.ObsDigest,
+	}
+	for i := range cs.Positions {
+		if cs.Positions[i] != ps.Positions[i] {
+			d.PosChanged = append(d.PosChanged, PosChange{Index: i, Pos: cs.Positions[i]})
+		}
+	}
+	for i := range cs.Endpoints {
+		if cs.Endpoints[i] != ps.Endpoints[i] {
+			d.EndpointChanged = append(d.EndpointChanged, EndpointChange{Index: i, State: cs.Endpoints[i]})
+		}
+	}
+	if len(cs.Delivered) < len(ps.Delivered) {
+		return nil, fmt.Errorf("wire: delivery log shrank between captures (%d -> %d)", len(ps.Delivered), len(cs.Delivered))
+	}
+	if tail := cs.Delivered[len(ps.Delivered):]; len(tail) > 0 {
+		d.DeliveredTail = append([]ckpt.MessageState(nil), tail...)
+	}
+	// Longest common input prefix; the recorder only appends or grows
+	// the final entry, so this is len-1 or len in practice.
+	p := 0
+	for p < len(prev.Inputs) && p < len(cur.Inputs) && inputEqual(&prev.Inputs[p], &cur.Inputs[p]) {
+		p++
+	}
+	d.InputTailStart = p
+	if tail := cur.Inputs[p:]; len(tail) > 0 {
+		d.InputTail = append([]ckpt.Input(nil), tail...)
+	}
+	if cs.SchedulerIdle != nil {
+		d.HasIdle = true
+		d.IdleLen = len(cs.SchedulerIdle)
+		d.IdleShift, d.IdleOverrides = DiffIdle(ps.SchedulerIdle, cs.SchedulerIdle)
+	}
+	if !radioEqual(ps.Radio, cs.Radio) {
+		d.RadioChanged = true
+		d.Radio = cs.Radio
+	}
+	if !messengerEqual(ps.Messenger, cs.Messenger) {
+		d.MessengerChanged = true
+		d.Messenger = cs.Messenger
+	}
+	if !faultEqual(ps.Fault, cs.Fault) {
+		d.FaultChanged = true
+		d.Fault = cs.Fault
+	}
+	return d, nil
+}
+
+// ApplyDelta advances a folded checkpoint by one delta, in place. It is
+// the single fold step shared by the chain loader and the writer's
+// mirror. Indices out of range mean a corrupt or mismatched delta.
+func ApplyDelta(ck *ckpt.Checkpoint, d *Delta) error {
+	st := &ck.State
+	st.Time = d.Time
+	st.Consumed = d.Consumed
+	st.SchedulerDraws = d.SchedulerDraws
+	st.TraceDigest = d.TraceDigest
+	st.ObsDigest = d.ObsDigest
+	for _, pc := range d.PosChanged {
+		if pc.Index < 0 || pc.Index >= len(st.Positions) {
+			return fmt.Errorf("%w: delta position index %d out of range %d", ckpt.ErrTruncated, pc.Index, len(st.Positions))
+		}
+		st.Positions[pc.Index] = pc.Pos
+	}
+	for _, ec := range d.EndpointChanged {
+		if ec.Index < 0 || ec.Index >= len(st.Endpoints) {
+			return fmt.Errorf("%w: delta endpoint index %d out of range %d", ckpt.ErrTruncated, ec.Index, len(st.Endpoints))
+		}
+		st.Endpoints[ec.Index] = ec.State
+	}
+	st.Delivered = append(st.Delivered, d.DeliveredTail...)
+	if d.InputTailStart < 0 || d.InputTailStart > len(ck.Inputs) {
+		return fmt.Errorf("%w: delta input splice point %d beyond log length %d", ckpt.ErrTruncated, d.InputTailStart, len(ck.Inputs))
+	}
+	ck.Inputs = append(ck.Inputs[:d.InputTailStart], d.InputTail...)
+	if ck.Inputs != nil && len(ck.Inputs) == 0 {
+		ck.Inputs = nil
+	}
+	if !d.HasIdle {
+		st.SchedulerIdle = nil
+	} else {
+		idle := expandIdle(st.SchedulerIdle, d.IdleLen)
+		for i := range idle {
+			idle[i] += d.IdleShift
+		}
+		for _, ov := range d.IdleOverrides {
+			if ov.Index < 0 || ov.Index >= len(idle) {
+				return fmt.Errorf("%w: delta idle index %d out of range %d", ckpt.ErrTruncated, ov.Index, len(idle))
+			}
+			idle[ov.Index] = ov.Value
+		}
+		st.SchedulerIdle = idle
+	}
+	if d.RadioChanged {
+		st.Radio = d.Radio
+	}
+	if d.MessengerChanged {
+		st.Messenger = d.Messenger
+	}
+	if d.FaultChanged {
+		st.Fault = d.Fault
+	}
+	return nil
+}
+
+// expandIdle resizes a previous idle-counter slice to n entries: kept
+// counters carry over, new entries start at zero (exactly the lazy
+// resize the random-fair scheduler performs).
+func expandIdle(prev []int, n int) []int {
+	out := make([]int, n)
+	copy(out, prev)
+	return out
+}
+
+// DiffIdle encodes the step from one idle-counter snapshot to the next
+// as the majority increment (Boyer–Moore, one pass) plus absolute
+// overrides for the exceptions. Under random-fair scheduling every
+// counter rises by the number of elapsed steps except the few robots
+// that were activated, so the overrides are the activated set.
+// Allocation-free apart from the overrides themselves; prev may be
+// shorter than cur (counters not yet allocated read as zero, matching
+// the scheduler's lazy resize).
+func DiffIdle(prev, cur []int) (shift int, overrides []IdleOverride) {
+	at := func(i int) int {
+		if i < len(prev) {
+			return prev[i]
+		}
+		return 0
+	}
+	count := 0
+	for i := range cur {
+		d := cur[i] - at(i)
+		switch {
+		case count == 0:
+			shift, count = d, 1
+		case d == shift:
+			count++
+		default:
+			count--
+		}
+	}
+	for i := range cur {
+		if at(i)+shift != cur[i] {
+			overrides = append(overrides, IdleOverride{Index: i, Value: cur[i]})
+		}
+	}
+	return shift, overrides
+}
+
+func inputEqual(a, b *ckpt.Input) bool {
+	if a.T != b.T || a.Op != b.Op || a.From != b.From || a.To != b.To ||
+		a.Count != b.Count || a.Max != b.Max || a.Reps != b.Reps || a.P != b.P {
+		return false
+	}
+	if (a.Payload == nil) != (b.Payload == nil) || len(a.Payload) != len(b.Payload) {
+		return false
+	}
+	for i := range a.Payload {
+		if a.Payload[i] != b.Payload[i] {
+			return false
+		}
+	}
+	if (a.Policy == nil) != (b.Policy == nil) {
+		return false
+	}
+	return a.Policy == nil || *a.Policy == *b.Policy
+}
+
+func messagesEqual(a, b []ckpt.MessageState) bool {
+	if (a == nil) != (b == nil) || len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i].From != b[i].From || a[i].To != b[i].To {
+			return false
+		}
+		if (a[i].Payload == nil) != (b[i].Payload == nil) || len(a[i].Payload) != len(b[i].Payload) {
+			return false
+		}
+		for j := range a[i].Payload {
+			if a[i].Payload[j] != b[i].Payload[j] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func boolsEqual(a, b []bool) bool {
+	if (a == nil) != (b == nil) || len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func intsEqual(a, b []int) bool {
+	if (a == nil) != (b == nil) || len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func radioEqual(a, b *ckpt.RadioState) bool {
+	if (a == nil) != (b == nil) {
+		return false
+	}
+	if a == nil {
+		return true
+	}
+	if a.Seed != b.Seed || a.Draws != b.Draws || a.JamProb != b.JamProb ||
+		a.Sent != b.Sent || a.Lost != b.Lost || a.Delivered != b.Delivered {
+		return false
+	}
+	if !boolsEqual(a.Broken, b.Broken) {
+		return false
+	}
+	if (a.Inboxes == nil) != (b.Inboxes == nil) || len(a.Inboxes) != len(b.Inboxes) {
+		return false
+	}
+	for i := range a.Inboxes {
+		if !messagesEqual(a.Inboxes[i], b.Inboxes[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+func messengerEqual(a, b *ckpt.MessengerState) bool {
+	if (a == nil) != (b == nil) {
+		return false
+	}
+	if a == nil {
+		return true
+	}
+	if a.ViaRadio != b.ViaRadio || a.ViaMovement != b.ViaMovement ||
+		a.Retries != b.Retries || a.Failovers != b.Failovers ||
+		a.Failbacks != b.Failbacks || a.Expired != b.Expired ||
+		a.ImplicitAcks != b.ImplicitAcks || a.AckCursor != b.AckCursor {
+		return false
+	}
+	if (a.Pending == nil) != (b.Pending == nil) || len(a.Pending) != len(b.Pending) {
+		return false
+	}
+	for i := range a.Pending {
+		p, q := &a.Pending[i], &b.Pending[i]
+		if p.From != q.From || p.To != q.To || p.Submitted != q.Submitted ||
+			p.Attempts != q.Attempts || p.NextTry != q.NextTry {
+			return false
+		}
+		if (p.Payload == nil) != (q.Payload == nil) || len(p.Payload) != len(q.Payload) {
+			return false
+		}
+		for j := range p.Payload {
+			if p.Payload[j] != q.Payload[j] {
+				return false
+			}
+		}
+	}
+	return messagesEqual(a.Watches, b.Watches) && intsEqual(a.Mode, b.Mode) && intsEqual(a.ProbeAt, b.ProbeAt)
+}
+
+func faultEqual(a, b *ckpt.FaultState) bool {
+	if (a == nil) != (b == nil) {
+		return false
+	}
+	if a == nil {
+		return true
+	}
+	return a.Jam == b.Jam && boolsEqual(a.Outage, b.Outage)
+}
+
+// ---------------------------------------------------------------------
+// Delta wire coding. Like the base body, the previous (folded) state is
+// the compression dictionary: changed positions are coded as index gaps
+// plus IEEE-754 bit-pattern deltas against the robot's previous
+// position, which for a bounded move shares the exponent and high
+// mantissa bits and collapses to a few bytes.
+
+func encodeDeltaBody(d *Delta, prev *ckpt.State) ([]byte, error) {
+	w := &writer{buf: make([]byte, 0, 64+len(d.PosChanged)*10+len(d.EndpointChanged)*6)}
+	w.int(d.Time)
+	w.int(d.Consumed)
+	w.uvarint(d.SchedulerDraws)
+	w.uint(len(d.PosChanged))
+	pidx := -1
+	for _, pc := range d.PosChanged {
+		if pc.Index <= pidx || pc.Index >= len(prev.Positions) {
+			return nil, fmt.Errorf("wire: delta position index %d not ascending in range %d", pc.Index, len(prev.Positions))
+		}
+		w.uint(pc.Index - pidx)
+		old := prev.Positions[pc.Index]
+		w.varint(int64(math.Float64bits(pc.Pos.X) - math.Float64bits(old.X)))
+		w.varint(int64(math.Float64bits(pc.Pos.Y) - math.Float64bits(old.Y)))
+		pidx = pc.Index
+	}
+	w.uint(len(d.EndpointChanged))
+	eidx := -1
+	for _, ec := range d.EndpointChanged {
+		if ec.Index <= eidx {
+			return nil, fmt.Errorf("wire: delta endpoint index %d not ascending", ec.Index)
+		}
+		w.uint(ec.Index - eidx)
+		w.int(ec.State.Pending)
+		w.bool(ec.State.Idle)
+		w.int(ec.State.SentBits)
+		eidx = ec.Index
+	}
+	encodeMessages(w, d.DeliveredTail)
+	w.uint(d.InputTailStart)
+	encodeInputs(w, d.InputTail)
+	w.bool(d.HasIdle)
+	if d.HasIdle {
+		w.uint(d.IdleLen)
+		w.int(d.IdleShift)
+		w.uint(len(d.IdleOverrides))
+		oidx := -1
+		for _, ov := range d.IdleOverrides {
+			if ov.Index <= oidx {
+				return nil, fmt.Errorf("wire: delta idle index %d not ascending", ov.Index)
+			}
+			w.uint(ov.Index - oidx)
+			w.int(ov.Value)
+			oidx = ov.Index
+		}
+	}
+	w.bool(d.RadioChanged)
+	if d.RadioChanged {
+		encodeRadioState(w, d.Radio)
+	}
+	w.bool(d.MessengerChanged)
+	if d.MessengerChanged {
+		encodeMessengerState(w, d.Messenger)
+	}
+	w.bool(d.FaultChanged)
+	if d.FaultChanged {
+		encodeFaultState(w, d.Fault)
+	}
+	w.str(d.TraceDigest)
+	w.str(d.ObsDigest)
+	return w.buf, nil
+}
+
+func decodeDeltaBody(body []byte, prev *ckpt.State) (*Delta, error) {
+	r := &reader{buf: body}
+	d := &Delta{}
+	d.Time = r.int()
+	d.Consumed = r.int()
+	d.SchedulerDraws = r.uvarint()
+	npos, _ := r.sliceLenRaw(3)
+	idx := -1
+	for k := 0; k < npos && r.err == nil; k++ {
+		idx += int(r.uvarint())
+		if idx < 0 || idx >= len(prev.Positions) {
+			r.fail("delta position index %d out of range %d", idx, len(prev.Positions))
+			break
+		}
+		old := prev.Positions[idx]
+		dx := uint64(r.varint())
+		dy := uint64(r.varint())
+		d.PosChanged = append(d.PosChanged, PosChange{Index: idx, Pos: ckpt.XY{
+			X: math.Float64frombits(math.Float64bits(old.X) + dx),
+			Y: math.Float64frombits(math.Float64bits(old.Y) + dy),
+		}})
+	}
+	nep, _ := r.sliceLenRaw(4)
+	idx = -1
+	for k := 0; k < nep && r.err == nil; k++ {
+		idx += int(r.uvarint())
+		if idx < 0 {
+			r.fail("delta endpoint index underflow")
+			break
+		}
+		d.EndpointChanged = append(d.EndpointChanged, EndpointChange{Index: idx, State: ckpt.EndpointState{
+			Pending: r.int(), Idle: r.bool(), SentBits: r.int(),
+		}})
+	}
+	d.DeliveredTail = decodeMessages(r)
+	d.InputTailStart = int(r.uvarint())
+	d.InputTail = decodeInputs(r)
+	d.HasIdle = r.bool()
+	if d.HasIdle {
+		// IdleLen counts folded entries, not wire bytes (the shift covers
+		// most robots without any wire cost), so it is bounded by the
+		// known robot count instead of the frame size: the fold allocates
+		// at most one int per robot.
+		d.IdleLen = clampIdleLen(r, int(r.uvarint()), len(prev.Positions))
+		d.IdleShift = r.int()
+		nov, _ := r.sliceLenRaw(2)
+		idx = -1
+		for k := 0; k < nov && r.err == nil; k++ {
+			idx += int(r.uvarint())
+			if idx < 0 {
+				r.fail("delta idle index underflow")
+				break
+			}
+			d.IdleOverrides = append(d.IdleOverrides, IdleOverride{Index: idx, Value: r.int()})
+		}
+	}
+	if d.RadioChanged = r.bool(); d.RadioChanged {
+		d.Radio = decodeRadioState(r)
+	}
+	if d.MessengerChanged = r.bool(); d.MessengerChanged {
+		d.Messenger = decodeMessengerState(r)
+	}
+	if d.FaultChanged = r.bool(); d.FaultChanged {
+		d.Fault = decodeFaultState(r)
+	}
+	d.TraceDigest = r.str()
+	d.ObsDigest = r.str()
+	if r.err != nil {
+		return nil, r.err
+	}
+	if r.remaining() != 0 {
+		return nil, fmt.Errorf("%w: %d trailing bytes in delta frame body", ckpt.ErrTruncated, r.remaining())
+	}
+	return d, nil
+}
+
+// clampIdleLen bounds the claimed idle-counter length by the known
+// robot count so a corrupt length cannot drive a giant allocation.
+func clampIdleLen(r *reader, n, robots int) int {
+	if n < 0 || n > robots+1 {
+		r.fail("delta idle length %d exceeds robot count %d", n, robots)
+		return 0
+	}
+	return n
+}

@@ -1,0 +1,61 @@
+package wire
+
+import (
+	"errors"
+	"testing"
+
+	"waggle/internal/ckpt"
+)
+
+// FuzzDecodeCheckpoint hammers the binary decoder with arbitrary
+// bytes. The contract under attack: Decode never panics, never
+// allocates proportionally to a length claimed by the input (only to
+// the input's actual size), and every failure is one of the typed
+// sentinels — ErrSchema, ErrChecksum, ErrTruncated — so callers can
+// distinguish "wrong format" from "damaged file" from "torn write".
+func FuzzDecodeCheckpoint(f *testing.F) {
+	// Seed corpus: valid encodings of increasingly-populated
+	// checkpoints plus a multi-frame delta chain, so mutation starts
+	// from deep inside the format instead of rediscovering the magic.
+	small := &ckpt.Checkpoint{
+		Config: ckpt.Config{Positions: []ckpt.XY{{X: 0, Y: 0}, {X: 1, Y: 1}}},
+		State: ckpt.State{
+			Positions: []ckpt.XY{{X: 0, Y: 0}, {X: 1, Y: 1}},
+			Endpoints: []ckpt.EndpointState{{Idle: true}, {Idle: true}},
+		},
+	}
+	if data, err := Encode(small); err == nil {
+		f.Add(data)
+	}
+	full := fullCheckpoint()
+	if data, err := Encode(full); err == nil {
+		f.Add(data)
+	}
+	if base, crc, err := EncodeBaseFrame(full); err == nil {
+		cur := mutateCheckpoint(full)
+		if d, err := ComputeDelta(full, cur); err == nil {
+			if frame, _, err := EncodeDeltaFrame(d, &full.State, crc); err == nil {
+				f.Add(append(append([]byte(nil), base...), frame...))
+			}
+		}
+	}
+	f.Add([]byte(magicBase))
+	f.Add([]byte(magicDelta))
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		ck, err := Decode(data)
+		if err != nil {
+			if !errors.Is(err, ckpt.ErrSchema) && !errors.Is(err, ckpt.ErrChecksum) && !errors.Is(err, ckpt.ErrTruncated) {
+				t.Fatalf("untyped decode error: %v", err)
+			}
+			return
+		}
+		// A successful decode must hand back an internally consistent
+		// checkpoint: re-encoding it must work (the encoder validates
+		// ascending indices and schema invariants as it goes).
+		if _, err := Encode(ck); err != nil {
+			t.Fatalf("decoded checkpoint does not re-encode: %v", err)
+		}
+	})
+}

@@ -71,6 +71,7 @@ type options struct {
 	faultRadio       *Radio
 	observer         *Observer
 	restore          *Checkpoint
+	ckptCodec        CheckpointCodec
 }
 
 func defaultOptions() options {
@@ -197,6 +198,15 @@ func WithActivationProbability(p float64) Option {
 // return the messenger); use Restore for those.
 func WithRestore(ck *Checkpoint) Option {
 	return optionFunc(func(o *options) { o.restore = ck })
+}
+
+// WithCheckpointCodec selects the serialization format the swarm's
+// checkpoint writers default to (CodecJSON, CodecBinary, CodecDelta).
+// Like the engine mode this is a preference about how state is written,
+// not part of the run's identity: it is not stored in checkpoints, and
+// a swarm restored from any format may save in any other.
+func WithCheckpointCodec(c CheckpointCodec) Option {
+	return optionFunc(func(o *options) { o.ckptCodec = c })
 }
 
 // WithStarver selects the adversarial scheduler delaying the given robot
