@@ -4,9 +4,9 @@
 
 GO ?= go
 
-.PHONY: verify build vet test race bench bench-json bench-check bench-step bench-ckpt chaos-check obs-check replay-check vulncheck
+.PHONY: verify build vet test race bench bench-json bench-check bench-step bench-ckpt bench-serve chaos-check obs-check replay-check serve-check vulncheck
 
-verify: build vet race bench-check chaos-check obs-check replay-check vulncheck
+verify: build vet race bench-check chaos-check obs-check replay-check serve-check vulncheck
 
 build:
 	$(GO) build ./...
@@ -81,6 +81,21 @@ replay-check:
 # byte-for-byte (DESIGN.md §5d).
 obs-check:
 	$(GO) run ./cmd/waggle-sim -obs-check
+
+# Session-daemon smoke: start waggle-serve on an ephemeral port, run one
+# create/step/evict/resume/delete lifecycle against its own API, verify
+# the serve metrics saw it, and drain gracefully (DESIGN.md §5h). Then a
+# seconds-long waggle-load pass: mixed create/step/evict/resume traffic
+# plus an overload burst that must be answered with 429/503.
+serve-check:
+	$(GO) run ./cmd/waggle-serve -self-check
+	$(GO) run ./cmd/waggle-load -smoke -out /dev/null
+
+# Full load run against an in-process daemon: 1000 concurrent sessions,
+# mixed create/step/evict/resume traffic and an overload burst. Writes
+# BENCH_serve.json (the serve table in EXPERIMENTS.md).
+bench-serve:
+	$(GO) run ./cmd/waggle-load -out BENCH_serve.json
 
 # Known-vulnerability scan, skipped gracefully when govulncheck is not
 # installed or its database is unreachable (offline CI).

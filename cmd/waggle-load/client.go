@@ -1,0 +1,275 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strconv"
+	"sync"
+	"time"
+
+	"waggle/internal/obs"
+	"waggle/internal/serve"
+)
+
+// maxRetries bounds how often a simulated client honors Retry-After
+// before counting the op as failed.
+const maxRetries = 8
+
+// loadClient is the shared state of all simulated clients: one HTTP
+// client, the latency samples, and the error tally.
+type loadClient struct {
+	hc   *http.Client
+	base string
+
+	mu       sync.Mutex
+	lat      []float64 // seconds per successful step op
+	errs     []error
+	errCount int
+}
+
+func newLoadClient(hc *http.Client, base string) *loadClient {
+	return &loadClient{hc: hc, base: base}
+}
+
+func (lc *loadClient) fail(err error) {
+	lc.mu.Lock()
+	defer lc.mu.Unlock()
+	lc.errCount++
+	if len(lc.errs) < 5 {
+		lc.errs = append(lc.errs, err)
+	}
+}
+
+func (lc *loadClient) errorCount() int {
+	lc.mu.Lock()
+	defer lc.mu.Unlock()
+	return lc.errCount
+}
+
+func (lc *loadClient) errorSample() []error {
+	lc.mu.Lock()
+	defer lc.mu.Unlock()
+	return append([]error(nil), lc.errs...)
+}
+
+func (lc *loadClient) samples() []float64 {
+	lc.mu.Lock()
+	defer lc.mu.Unlock()
+	return append([]float64(nil), lc.lat...)
+}
+
+func (lc *loadClient) recordLatency(d time.Duration) {
+	lc.mu.Lock()
+	lc.lat = append(lc.lat, d.Seconds())
+	lc.mu.Unlock()
+}
+
+// doJSON issues one request, honoring Retry-After backpressure like a
+// well-behaved client: 429/503 replies are retried after the advertised
+// delay, up to maxRetries.
+func (lc *loadClient) doJSON(method, url string, body, out any) (int, error) {
+	var payload []byte
+	if body != nil {
+		b, err := json.Marshal(body)
+		if err != nil {
+			return 0, err
+		}
+		payload = b
+	}
+	var lastStatus int
+	for attempt := 0; attempt <= maxRetries; attempt++ {
+		var rd io.Reader
+		if payload != nil {
+			rd = bytes.NewReader(payload)
+		}
+		req, err := http.NewRequest(method, url, rd)
+		if err != nil {
+			return 0, err
+		}
+		if payload != nil {
+			req.Header.Set("Content-Type", "application/json")
+		}
+		resp, err := lc.hc.Do(req)
+		if err != nil {
+			return 0, err
+		}
+		raw, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			return 0, err
+		}
+		lastStatus = resp.StatusCode
+		if resp.StatusCode == http.StatusTooManyRequests || resp.StatusCode == http.StatusServiceUnavailable {
+			delay := 50 * time.Millisecond
+			if ra := resp.Header.Get("Retry-After"); ra != "" {
+				if secs, err := strconv.Atoi(ra); err == nil && secs >= 0 {
+					// Cap the advertised wait so a load run cannot stall.
+					if secs > 1 {
+						secs = 1
+					}
+					delay = time.Duration(secs) * time.Second
+					if delay == 0 {
+						delay = 50 * time.Millisecond
+					}
+				}
+			}
+			time.Sleep(delay)
+			continue
+		}
+		if resp.StatusCode >= 400 {
+			return resp.StatusCode, fmt.Errorf("%s %s: status %d: %s", method, url, resp.StatusCode, bytes.TrimSpace(raw))
+		}
+		if out != nil && len(raw) > 0 {
+			if err := json.Unmarshal(raw, out); err != nil {
+				return resp.StatusCode, err
+			}
+		}
+		return resp.StatusCode, nil
+	}
+	return lastStatus, fmt.Errorf("%s %s: still backpressured (status %d) after %d retries", method, url, lastStatus, maxRetries)
+}
+
+func (lc *loadClient) getJSON(url string, out any) error {
+	_, err := lc.doJSON("GET", url, nil, out)
+	return err
+}
+
+// create builds one session: robots on a circle-ish lattice, traced so
+// eviction transparency stays checkable.
+func (lc *loadClient) create(robots int, seed int64) (string, error) {
+	positions := make([][2]float64, robots)
+	for i := range positions {
+		positions[i] = [2]float64{float64(i%8) * 9, float64(i/8) * 9}
+	}
+	var resp serve.CreateResponse
+	_, err := lc.doJSON("POST", lc.base+"/v1/sessions", serve.CreateRequest{
+		Positions: positions,
+		Seed:      seed,
+		Trace:     true,
+	}, &resp)
+	if err != nil {
+		return "", err
+	}
+	return resp.ID, nil
+}
+
+// step advances one session and records the op latency.
+func (lc *loadClient) step(id string, steps int) error {
+	start := time.Now()
+	_, err := lc.doJSON("POST", lc.base+"/v1/sessions/"+id+"/step", serve.StepRequest{Steps: steps}, nil)
+	if err != nil {
+		return err
+	}
+	lc.recordLatency(time.Since(start))
+	return nil
+}
+
+// observeTime reads one session's clock.
+func (lc *loadClient) observeTime(id string) (int, error) {
+	var resp serve.ObserveResponse
+	if _, err := lc.doJSON("GET", lc.base+"/v1/sessions/"+id+"/observe", nil, &resp); err != nil {
+		return 0, err
+	}
+	return resp.Time, nil
+}
+
+// countSessions reads how many sessions the daemon currently holds
+// (live + evicted).
+func (lc *loadClient) countSessions() int {
+	var resp serve.ListResponse
+	if err := lc.getJSON(lc.base+"/v1/sessions", &resp); err != nil {
+		return 0
+	}
+	return resp.Active + resp.Evicted
+}
+
+// overloadBurst stands up a deliberately tiny throttled daemon (rate
+// 100 ops/s, burst 20, one shard with a depth-2 queue) and hits it with
+// an instantaneous burst: well over both the bucket and the queue, so
+// the reply mix must contain 429s and/or 503s — and zero successes
+// beyond what the bucket admits would mean unbounded queueing.
+func overloadBurst(requests int) (out struct {
+	Requests     int `json:"requests"`
+	Throttled429 int `json:"throttled_429"`
+	Shed503      int `json:"shed_503"`
+}, err error) {
+	out.Requests = requests
+	dir, err := os.MkdirTemp("", "waggle-overload-*")
+	if err != nil {
+		return out, err
+	}
+	defer os.RemoveAll(dir)
+	srv, err := serve.New(serve.Options{
+		Dir:        dir,
+		Shards:     1,
+		QueueDepth: 2,
+		Rate:       100,
+		Burst:      20,
+		IdleAfter:  time.Hour,
+	}, obs.New(256))
+	if err != nil {
+		return out, err
+	}
+	addr, stopHTTP, err := obs.ServeWith("127.0.0.1:0", srv.Handler(), obs.ServeOptions{})
+	if err != nil {
+		return out, err
+	}
+	defer stopHTTP()
+	defer func() {
+		ctx, cancel := contextWithTimeout(10 * time.Second)
+		defer cancel()
+		_ = srv.Shutdown(ctx)
+	}()
+	base := fmt.Sprintf("http://%s", addr)
+
+	hc := &http.Client{Timeout: 30 * time.Second}
+	var created serve.CreateResponse
+	b, _ := json.Marshal(serve.CreateRequest{Positions: [][2]float64{{0, 0}, {9, 0}, {0, 8}, {7, 7}}, Seed: 1})
+	resp, err := hc.Post(base+"/v1/sessions", "application/json", bytes.NewReader(b))
+	if err != nil {
+		return out, err
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&created); err != nil {
+		resp.Body.Close()
+		return out, err
+	}
+	resp.Body.Close()
+
+	stepBody, _ := json.Marshal(serve.StepRequest{Steps: 1000})
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	for i := 0; i < requests; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			r, err := hc.Post(base+"/v1/sessions/"+created.ID+"/step", "application/json", bytes.NewReader(stepBody))
+			if err != nil {
+				return
+			}
+			io.Copy(io.Discard, r.Body)
+			r.Body.Close()
+			mu.Lock()
+			switch r.StatusCode {
+			case http.StatusTooManyRequests:
+				out.Throttled429++
+			case http.StatusServiceUnavailable:
+				out.Shed503++
+			}
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
+	if out.Throttled429+out.Shed503 == 0 {
+		return out, fmt.Errorf("overload burst of %d requests was never backpressured", requests)
+	}
+	return out, nil
+}
+
+func contextWithTimeout(d time.Duration) (context.Context, context.CancelFunc) {
+	return context.WithTimeout(context.Background(), d)
+}

@@ -1,0 +1,162 @@
+// Command waggle-serve is the multi-tenant swarm session daemon: it
+// hosts many concurrent swarm sessions behind an HTTP/JSON API and
+// degrades gracefully under hostile traffic (backpressure, deadlines,
+// step budgets, idle eviction to checkpoint chains, drain-on-shutdown).
+//
+// Examples:
+//
+//	waggle-serve -listen 127.0.0.1:8080 -dir /var/lib/waggle
+//	waggle-serve -rate 2000 -burst 200         # throttle to 2k ops/s
+//	waggle-serve -idle-after 30s               # aggressive eviction
+//	waggle-serve -self-check                   # smoke the full lifecycle and exit
+//
+// The API lives under /v1 (sessions, step, send, observe); the same
+// listener serves the observability endpoints (/metrics,
+// /metrics.json, /trace, /snapshot, /debug/pprof/).
+//
+// SIGINT/SIGTERM drain gracefully: the listener stops accepting work,
+// in-flight operations finish, and every live session is folded into
+// its checkpoint chain in -dir, so a restarted daemon pointed at the
+// same directory resumes every session byte-identically.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"waggle/internal/obs"
+	"waggle/internal/serve"
+)
+
+type config struct {
+	listen       string
+	dir          string
+	shards       int
+	queueDepth   int
+	maxSessions  int
+	maxRobots    int
+	stepBudget   int
+	maxSteps     int
+	reqTimeout   time.Duration
+	idleAfter    time.Duration
+	evictScan    time.Duration
+	rate         float64
+	burst        int
+	observeWait  time.Duration
+	drainTimeout time.Duration
+	selfCheck    bool
+}
+
+func main() {
+	var cfg config
+	flag.StringVar(&cfg.listen, "listen", "127.0.0.1:8080", "address to serve the /v1 API and observability endpoints on")
+	flag.StringVar(&cfg.dir, "dir", "waggle-serve-data", "checkpoint directory (one delta chain per session; recovered on restart)")
+	flag.IntVar(&cfg.shards, "shards", 0, "worker-pool shards sessions are pinned across (0 = 2x GOMAXPROCS)")
+	flag.IntVar(&cfg.queueDepth, "queue-depth", 0, "bounded per-shard queue depth; a full queue sheds 503 (0 = default 128)")
+	flag.IntVar(&cfg.maxSessions, "max-sessions", 0, "session capacity, live + evicted (0 = default 16384)")
+	flag.IntVar(&cfg.maxRobots, "max-robots", 0, "largest swarm a session may host (0 = default 128)")
+	flag.IntVar(&cfg.stepBudget, "step-budget", 0, "lifetime instant budget per session (0 = default 100000)")
+	flag.IntVar(&cfg.maxSteps, "max-steps", 0, "largest single step request (0 = default 10000)")
+	flag.DurationVar(&cfg.reqTimeout, "request-timeout", 0, "per-request execution deadline (0 = default 10s)")
+	flag.DurationVar(&cfg.idleAfter, "idle-after", 0, "evict sessions untouched this long to their checkpoint chains (0 = default 2m)")
+	flag.DurationVar(&cfg.evictScan, "evict-scan", 0, "idle-eviction scan period (0 = default 1s)")
+	flag.Float64Var(&cfg.rate, "rate", 0, "global token-bucket rate over /v1 requests in ops/s (0 = unthrottled)")
+	flag.IntVar(&cfg.burst, "burst", 0, "token-bucket burst (0 = rate)")
+	flag.DurationVar(&cfg.observeWait, "max-observe-wait", 0, "longest observe long-poll (0 = default 30s)")
+	flag.DurationVar(&cfg.drainTimeout, "drain-timeout", 30*time.Second, "how long shutdown waits for in-flight work to drain")
+	flag.BoolVar(&cfg.selfCheck, "self-check", false, "start on an ephemeral port, run one create/step/evict/resume/delete cycle, drain, and exit")
+	flag.Parse()
+	if err := run(cfg); err != nil {
+		fmt.Fprintln(os.Stderr, "waggle-serve:", err)
+		os.Exit(1)
+	}
+}
+
+func run(cfg config) error {
+	if cfg.selfCheck {
+		cfg.listen = "127.0.0.1:0"
+		dir, err := os.MkdirTemp("", "waggle-serve-check-*")
+		if err != nil {
+			return err
+		}
+		defer os.RemoveAll(dir)
+		cfg.dir = dir
+	}
+
+	ob := obs.New(4096)
+	srv, err := serve.New(serve.Options{
+		Dir:                cfg.dir,
+		Shards:             cfg.shards,
+		QueueDepth:         cfg.queueDepth,
+		MaxSessions:        cfg.maxSessions,
+		MaxRobots:          cfg.maxRobots,
+		StepBudget:         cfg.stepBudget,
+		MaxStepsPerRequest: cfg.maxSteps,
+		RequestTimeout:     cfg.reqTimeout,
+		IdleAfter:          cfg.idleAfter,
+		EvictScan:          cfg.evictScan,
+		Rate:               cfg.rate,
+		Burst:              cfg.burst,
+		MaxObserveWait:     cfg.observeWait,
+	}, ob)
+	if err != nil {
+		return err
+	}
+
+	// The long-poll observe endpoint holds responses open up to the
+	// observe wait, so the write timeout must clear it with margin; the
+	// other knobs keep the hardened introspection defaults.
+	observeWait := 30 * time.Second
+	if cfg.observeWait > 0 {
+		observeWait = cfg.observeWait
+	}
+	addr, stopHTTP, err := obs.ServeWith(cfg.listen, srv.Handler(), obs.ServeOptions{
+		WriteTimeout:  observeWait + 15*time.Second,
+		ShutdownGrace: 5 * time.Second,
+	})
+	if err != nil {
+		return err
+	}
+	active, evicted := srv.Counts()
+	fmt.Printf("waggle-serve: listening on http://%s (dir=%s, recovered %d evicted sessions)\n",
+		addr, cfg.dir, evicted)
+	_ = active
+
+	if cfg.selfCheck {
+		checkErr := selfCheck(fmt.Sprintf("http://%s", addr), srv)
+		drainErr := drain(srv, stopHTTP, cfg.drainTimeout)
+		if checkErr != nil {
+			return checkErr
+		}
+		return drainErr
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	got := <-sig
+	fmt.Printf("waggle-serve: %v received, draining\n", got)
+	if err := drain(srv, stopHTTP, cfg.drainTimeout); err != nil {
+		return err
+	}
+	active, evicted = srv.Counts()
+	fmt.Printf("waggle-serve: drained; %d live sessions checkpointed, %d evicted chains on disk\n",
+		active, evicted)
+	return nil
+}
+
+// drain stops the listener, then drains and checkpoints the session
+// daemon — the graceful-degradation exit every signal path shares.
+func drain(srv *serve.Server, stopHTTP func() error, timeout time.Duration) error {
+	httpErr := stopHTTP()
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		return err
+	}
+	return httpErr
+}

@@ -1,0 +1,122 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+
+	"waggle/internal/obs"
+	"waggle/internal/serve"
+)
+
+// selfCheck is `make serve-check`: one full session lifecycle against
+// the daemon's own listener — create, step, evict to the checkpoint
+// chain, transparently resume, verify the metrics saw it, delete —
+// with no external dependencies. The caller drains afterwards, so a
+// passing self-check also exercises graceful shutdown.
+func selfCheck(base string, srv *serve.Server) error {
+	var created serve.CreateResponse
+	err := call("POST", base+"/v1/sessions", serve.CreateRequest{
+		Positions:   [][2]float64{{0, 0}, {10, 0}},
+		Synchronous: true,
+		Seed:        7,
+		Trace:       true,
+	}, http.StatusCreated, &created)
+	if err != nil {
+		return fmt.Errorf("serve-check: create: %w", err)
+	}
+	sessURL := base + "/v1/sessions/" + created.ID
+
+	var step serve.StepResponse
+	if err := call("POST", sessURL+"/step", serve.StepRequest{Steps: 10}, http.StatusOK, &step); err != nil {
+		return fmt.Errorf("serve-check: step: %w", err)
+	}
+	if step.Time != 10 {
+		return fmt.Errorf("serve-check: stepped to t=%d, want 10", step.Time)
+	}
+
+	if n := srv.EvictIdle(0); n != 1 {
+		return fmt.Errorf("serve-check: evicted %d sessions, want 1", n)
+	}
+	var info serve.InfoResponse
+	if err := call("GET", sessURL, nil, http.StatusOK, &info); err != nil {
+		return fmt.Errorf("serve-check: info: %w", err)
+	}
+	if info.State != "evicted" {
+		return fmt.Errorf("serve-check: state %q after evict, want evicted", info.State)
+	}
+
+	// The next touch must transparently resume from the chain.
+	if err := call("POST", sessURL+"/step", serve.StepRequest{Steps: 10}, http.StatusOK, &step); err != nil {
+		return fmt.Errorf("serve-check: step after evict: %w", err)
+	}
+	var observed serve.ObserveResponse
+	if err := call("GET", sessURL+"/observe?digest=1", nil, http.StatusOK, &observed); err != nil {
+		return fmt.Errorf("serve-check: observe: %w", err)
+	}
+	if observed.Time != 20 || observed.Resumes != 1 || observed.State != "active" {
+		return fmt.Errorf("serve-check: resumed session observed t=%d resumes=%d state=%q, want t=20 resumes=1 active",
+			observed.Time, observed.Resumes, observed.State)
+	}
+	if observed.Digest == "" {
+		return fmt.Errorf("serve-check: no trace digest on a traced session")
+	}
+
+	var snap obs.Snapshot
+	if err := call("GET", base+"/metrics.json", nil, http.StatusOK, &snap); err != nil {
+		return fmt.Errorf("serve-check: metrics.json: %w", err)
+	}
+	for _, name := range []string{
+		"waggle_serve_sessions_created_total",
+		"waggle_serve_evictions_total",
+		"waggle_serve_resumes_total",
+	} {
+		if v, ok := snap.CounterValue(name); !ok || v == 0 {
+			return fmt.Errorf("serve-check: counter %s missing or zero", name)
+		}
+	}
+
+	if err := call("DELETE", sessURL, nil, http.StatusNoContent, nil); err != nil {
+		return fmt.Errorf("serve-check: delete: %w", err)
+	}
+	fmt.Printf("serve-check ok: session %s created, stepped to t=10, evicted, resumed to t=20, deleted\n", created.ID)
+	return nil
+}
+
+// call issues one JSON request and decodes the reply, enforcing the
+// expected status.
+func call(method, url string, body any, wantStatus int, out any) error {
+	var rd io.Reader
+	if body != nil {
+		b, err := json.Marshal(body)
+		if err != nil {
+			return err
+		}
+		rd = bytes.NewReader(b)
+	}
+	req, err := http.NewRequest(method, url, rd)
+	if err != nil {
+		return err
+	}
+	if rd != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != wantStatus {
+		return fmt.Errorf("%s %s: status %d (want %d): %s", method, url, resp.StatusCode, wantStatus, bytes.TrimSpace(raw))
+	}
+	if out != nil && len(raw) > 0 {
+		return json.Unmarshal(raw, out)
+	}
+	return nil
+}

@@ -327,17 +327,18 @@ func obsCheck() error {
 }
 
 // serveIntrospection starts the observability endpoint in the
-// background, returning the closer. The server is hardened (header,
-// read, write and idle timeouts; graceful drain on stop) by obs.Serve.
-// The resolved address is printed so ":0" is usable in scripts and
-// tests.
+// background via the shared obs wiring (hardened timeouts, graceful
+// drain on stop), returning a closer that logs any shutdown error.
 func serveIntrospection(addr string, o *waggle.Observer) (func(), error) {
-	bound, stop, err := obs.Serve(addr, o.Handler())
+	stop, err := obs.StartIntrospection(addr, o.Handler(), os.Stdout)
 	if err != nil {
 		return nil, err
 	}
-	fmt.Printf("observability endpoint: http://%s/metrics\n", bound)
-	return stop, nil
+	return func() {
+		if err := stop(); err != nil {
+			fmt.Fprintf(os.Stderr, "waggle-sim: %v\n", err)
+		}
+	}, nil
 }
 
 func waitForInterrupt() {

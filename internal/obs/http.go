@@ -17,7 +17,13 @@ import (
 // All reads are lock-free or briefly locked (the trace ring), so
 // scraping a live run never blocks the simulation for long. The
 // handler is safe to serve while the observed swarm is stepping.
-func Handler(o *Observer) http.Handler {
+func Handler(o *Observer) http.Handler { return Mux(o) }
+
+// Mux builds the introspection routes on a fresh ServeMux the caller
+// can extend with more routes before serving — the shared
+// handler-builder behind every waggle CLI's "-listen" endpoint and the
+// waggle-serve daemon (which mounts its /v1 session API on top).
+func Mux(o *Observer) *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")

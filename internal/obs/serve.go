@@ -2,50 +2,112 @@ package obs
 
 import (
 	"context"
+	"fmt"
+	"io"
 	"net"
 	"net/http"
 	"time"
 )
 
-// Timeouts of the introspection server. The endpoint serves small,
-// locally generated responses, so the limits are tight: a client that
-// cannot send its request header within ReadHeaderTimeout is a
-// slowloris, not a slow link.
+// Default timeouts of the introspection server. The endpoint serves
+// small, locally generated responses, so the limits are tight: a client
+// that cannot send its request header within ReadHeaderTimeout is a
+// slowloris, not a slow link. Servers with slower endpoints (the
+// waggle-serve long-poll observe) raise the write timeout through
+// ServeOptions.
 const (
 	ServeReadHeaderTimeout = 5 * time.Second
 	ServeReadTimeout       = 10 * time.Second
 	ServeWriteTimeout      = 10 * time.Second
 	ServeIdleTimeout       = 60 * time.Second
-	// ServeShutdownGrace bounds how long Stop waits for in-flight
+	// ServeShutdownGrace bounds how long stop waits for in-flight
 	// requests before cutting them off.
 	ServeShutdownGrace = 3 * time.Second
 )
 
-// Serve starts an HTTP introspection server for h on addr in the
-// background and returns the bound address (so ":0" is usable in
-// scripts and tests) and a stop function. The server is hardened
-// against slow clients — header, read, write and idle timeouts are all
-// set — and stop drains in-flight requests gracefully for up to
-// ServeShutdownGrace before closing remaining connections.
-func Serve(addr string, h http.Handler) (net.Addr, func(), error) {
+// ServeOptions overrides the hardened defaults of Serve. The zero value
+// of every field means "use the default above", so callers only state
+// what they need changed.
+type ServeOptions struct {
+	ReadHeaderTimeout time.Duration
+	ReadTimeout       time.Duration
+	WriteTimeout      time.Duration
+	IdleTimeout       time.Duration
+	// ShutdownGrace bounds the graceful drain the stop function
+	// performs before forcing remaining connections closed.
+	ShutdownGrace time.Duration
+}
+
+// withDefaults resolves zero fields to the package defaults.
+func (o ServeOptions) withDefaults() ServeOptions {
+	if o.ReadHeaderTimeout == 0 {
+		o.ReadHeaderTimeout = ServeReadHeaderTimeout
+	}
+	if o.ReadTimeout == 0 {
+		o.ReadTimeout = ServeReadTimeout
+	}
+	if o.WriteTimeout == 0 {
+		o.WriteTimeout = ServeWriteTimeout
+	}
+	if o.IdleTimeout == 0 {
+		o.IdleTimeout = ServeIdleTimeout
+	}
+	if o.ShutdownGrace == 0 {
+		o.ShutdownGrace = ServeShutdownGrace
+	}
+	return o
+}
+
+// Serve starts an HTTP server for h on addr in the background with the
+// default hardened timeouts and returns the bound address (so ":0" is
+// usable in scripts and tests) and a stop function. Stop drains
+// in-flight requests gracefully for up to ServeShutdownGrace, then
+// closes remaining connections, and returns the shutdown error (nil
+// after a clean drain).
+func Serve(addr string, h http.Handler) (net.Addr, func() error, error) {
+	return ServeWith(addr, h, ServeOptions{})
+}
+
+// ServeWith is Serve with explicit timeout overrides: zero fields keep
+// the hardened defaults.
+func ServeWith(addr string, h http.Handler, opts ServeOptions) (net.Addr, func() error, error) {
+	opts = opts.withDefaults()
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, nil, err
 	}
 	srv := &http.Server{
 		Handler:           h,
-		ReadHeaderTimeout: ServeReadHeaderTimeout,
-		ReadTimeout:       ServeReadTimeout,
-		WriteTimeout:      ServeWriteTimeout,
-		IdleTimeout:       ServeIdleTimeout,
+		ReadHeaderTimeout: opts.ReadHeaderTimeout,
+		ReadTimeout:       opts.ReadTimeout,
+		WriteTimeout:      opts.WriteTimeout,
+		IdleTimeout:       opts.IdleTimeout,
 	}
 	go func() { _ = srv.Serve(ln) }()
-	stop := func() {
-		ctx, cancel := context.WithTimeout(context.Background(), ServeShutdownGrace)
+	stop := func() error {
+		ctx, cancel := context.WithTimeout(context.Background(), opts.ShutdownGrace)
 		defer cancel()
 		if err := srv.Shutdown(ctx); err != nil {
 			_ = srv.Close()
+			return fmt.Errorf("obs: server shutdown: %w", err)
 		}
+		return nil
 	}
 	return ln.Addr(), stop, nil
+}
+
+// StartIntrospection is the shared "-listen" wiring of the waggle CLIs:
+// it serves h (typically Handler(o), or a mux built on Mux(o)) on addr
+// with the hardened defaults and prints the resolved metrics URL to w,
+// so ":0" is usable in scripts and tests. The returned stop function
+// drains gracefully and surfaces the shutdown error.
+func StartIntrospection(addr string, h http.Handler, w io.Writer) (func() error, error) {
+	bound, stop, err := Serve(addr, h)
+	if err != nil {
+		return nil, err
+	}
+	if w != nil {
+		fmt.Fprintf(w, "observability endpoint: http://%s/metrics\n", bound)
+	}
+	return stop, nil
 }

@@ -44,8 +44,65 @@ func TestServeHardenedAndGracefulStop(t *testing.T) {
 		t.Fatalf("ReadHeaderTimeout %v is not a sane slowloris bound", ServeReadHeaderTimeout)
 	}
 
-	stop()
+	if err := stop(); err != nil {
+		t.Fatalf("stop after idle server: %v", err)
+	}
 	if _, err := net.DialTimeout("tcp", addr.String(), 200*time.Millisecond); err == nil {
 		t.Fatal("listener still accepting after stop")
+	}
+}
+
+// TestServeWithOverrides pins that ServeOptions zero fields keep the
+// hardened defaults while set fields override them, and that the
+// returned stop function surfaces a clean shutdown as nil.
+func TestServeWithOverrides(t *testing.T) {
+	got := (ServeOptions{WriteTimeout: 90 * time.Second}).withDefaults()
+	if got.WriteTimeout != 90*time.Second {
+		t.Fatalf("override lost: %v", got.WriteTimeout)
+	}
+	if got.ReadHeaderTimeout != ServeReadHeaderTimeout || got.ReadTimeout != ServeReadTimeout ||
+		got.IdleTimeout != ServeIdleTimeout || got.ShutdownGrace != ServeShutdownGrace {
+		t.Fatalf("zero fields did not default: %+v", got)
+	}
+
+	o := New(DefaultRingCapacity)
+	addr, stop, err := ServeWith("127.0.0.1:0", Handler(o), ServeOptions{WriteTimeout: 90 * time.Second})
+	if err != nil {
+		t.Fatalf("serve: %v", err)
+	}
+	resp, err := http.Get("http://" + addr.String() + "/metrics.json")
+	if err != nil {
+		t.Fatalf("get: %v", err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if err := stop(); err != nil {
+		t.Fatalf("stop: %v", err)
+	}
+}
+
+// TestMuxExtensible pins that Mux returns a ServeMux callers can mount
+// extra routes on without disturbing the introspection endpoints.
+func TestMuxExtensible(t *testing.T) {
+	o := New(DefaultRingCapacity)
+	mux := Mux(o)
+	mux.HandleFunc("GET /v1/ping", func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte("pong"))
+	})
+	addr, stop, err := Serve("127.0.0.1:0", mux)
+	if err != nil {
+		t.Fatalf("serve: %v", err)
+	}
+	defer stop()
+	for path, want := range map[string]string{"/v1/ping": "pong", "/metrics": "waggle"} {
+		resp, err := http.Get("http://" + addr.String() + path)
+		if err != nil {
+			t.Fatalf("get %s: %v", path, err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK || !strings.Contains(string(body), want) {
+			t.Fatalf("%s: status %d body %q", path, resp.StatusCode, body)
+		}
 	}
 }

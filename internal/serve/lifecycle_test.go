@@ -1,0 +1,218 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"sync"
+	"testing"
+	"time"
+)
+
+// postJSON issues one request from a racing goroutine: no testing.T
+// calls, just the status (0 on transport error).
+func postJSON(method, url string, body any) int {
+	var rd io.Reader
+	if body != nil {
+		b, _ := json.Marshal(body)
+		rd = bytes.NewReader(b)
+	}
+	req, err := http.NewRequest(method, url, rd)
+	if err != nil {
+		return 0
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return 0
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	return resp.StatusCode
+}
+
+// TestConcurrentLifecycle races create/step/send/observe/evict/resume/
+// list/delete against one session id (plus churn on other ids) — the
+// -race exercise for the shard-pinning and drain-gate invariants. Any
+// documented status is acceptable per request; what must hold is that
+// nothing races, the server stays serviceable, and the final delete
+// wins.
+func TestConcurrentLifecycle(t *testing.T) {
+	s, ts := newTestServer(t, Options{StepBudget: 10_000_000})
+	created := createSession(t, ts.URL, CreateRequest{
+		Positions: [][2]float64{{0, 0}, {9, 0}, {0, 7}, {6, 6}},
+		Seed:      99,
+	})
+	sessURL := ts.URL + "/v1/sessions/" + created.ID
+
+	ok := map[int]bool{
+		http.StatusOK: true, http.StatusAccepted: true, http.StatusCreated: true,
+		http.StatusNoContent: true, http.StatusNotFound: true, http.StatusForbidden: true,
+		http.StatusServiceUnavailable: true, http.StatusTooManyRequests: true,
+	}
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	var unexpected []int
+	record := func(status int) {
+		if !ok[status] && status != 0 {
+			mu.Lock()
+			unexpected = append(unexpected, status)
+			mu.Unlock()
+		}
+	}
+	loop := func(fn func()) {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+					fn()
+				}
+			}
+		}()
+	}
+	for i := 0; i < 3; i++ {
+		loop(func() { record(postJSON("POST", sessURL+"/step", StepRequest{Steps: 20})) })
+	}
+	loop(func() {
+		record(postJSON("POST", sessURL+"/send", SendRequest{From: 0, To: 1, Payload: []byte("r")}))
+	})
+	loop(func() { record(postJSON("GET", sessURL+"/observe", nil)) })
+	loop(func() { record(postJSON("GET", ts.URL+"/v1/sessions", nil)); record(postJSON("GET", sessURL, nil)) })
+	loop(func() {
+		// Force evict/resume churn on everything live.
+		s.EvictIdle(0)
+		time.Sleep(time.Millisecond)
+	})
+	loop(func() {
+		// Churn other ids through create → step → delete.
+		var resp CreateResponse
+		status := func() int {
+			b, _ := json.Marshal(CreateRequest{Positions: [][2]float64{{0, 0}, {5, 0}}, Seed: 1})
+			r, err := http.Post(ts.URL+"/v1/sessions", "application/json", bytes.NewReader(b))
+			if err != nil {
+				return 0
+			}
+			defer r.Body.Close()
+			if r.StatusCode == http.StatusCreated {
+				json.NewDecoder(r.Body).Decode(&resp)
+			} else {
+				io.Copy(io.Discard, r.Body)
+			}
+			return r.StatusCode
+		}()
+		record(status)
+		if status == http.StatusCreated {
+			record(postJSON("POST", ts.URL+"/v1/sessions/"+resp.ID+"/step", nil))
+			record(postJSON("DELETE", ts.URL+"/v1/sessions/"+resp.ID, nil))
+		}
+	})
+
+	time.Sleep(300 * time.Millisecond)
+	if status := postJSON("DELETE", sessURL, nil); status != http.StatusNoContent {
+		t.Errorf("delete of contended session: status %d", status)
+	}
+	close(stop)
+	wg.Wait()
+	if len(unexpected) > 0 {
+		t.Fatalf("unexpected statuses under contention: %v", unexpected)
+	}
+	if status := postJSON("GET", sessURL, nil); status != http.StatusNotFound {
+		t.Fatal("deleted session still resolvable")
+	}
+	// The server must still serve new sessions after the storm.
+	fresh := createSession(t, ts.URL, twoRobotConfig(123))
+	if status := postJSON("POST", ts.URL+"/v1/sessions/"+fresh.ID+"/step", StepRequest{Steps: 5}); status != http.StatusOK {
+		t.Fatalf("post-storm step: status %d", status)
+	}
+}
+
+// TestAbortRestartResumesAll is the kill-the-server-mid-step test:
+// sessions are hammered with steps while the server is aborted (the
+// kill -9 double — no drain, no final checkpoints). A restarted server
+// on the same dir must resume every session from its last acknowledged
+// op, and recovery must be byte-identical: two successive restarts
+// observe exactly the same state for every session.
+func TestAbortRestartResumesAll(t *testing.T) {
+	dir := t.TempDir()
+	s1, ts1 := newTestServer(t, Options{Dir: dir, StepBudget: 1_000_000})
+	const nSessions = 6
+	ids := make([]string, nSessions)
+	floors := make(map[string]int, nSessions)
+	for i := range ids {
+		cfg := CreateRequest{
+			Positions: [][2]float64{{0, 0}, {9, 0}, {0, 7}, {6, 6}},
+			Seed:      int64(100 + i),
+			Trace:     true,
+		}
+		ids[i] = createSession(t, ts1.URL, cfg).ID
+		steps := 30 * (i + 1)
+		if status := postJSON("POST", ts1.URL+"/v1/sessions/"+ids[i]+"/step", StepRequest{Steps: steps}); status != http.StatusOK {
+			t.Fatalf("seed step session %d: status %d", i, status)
+		}
+		floors[ids[i]] = steps // acknowledged → durable before the kill
+	}
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for _, id := range ids {
+		id := id
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+					postJSON("POST", ts1.URL+"/v1/sessions/"+id+"/step", StepRequest{Steps: 50})
+				}
+			}
+		}()
+	}
+	time.Sleep(50 * time.Millisecond)
+	s1.Abort() // mid-step: in-flight ops finish, queued ops are skipped
+	close(stop)
+	wg.Wait()
+	ts1.Close()
+
+	s2, ts2 := newTestServer(t, Options{Dir: dir, StepBudget: 1_000_000})
+	active, evicted := s2.Counts()
+	if active != 0 || evicted != nSessions {
+		t.Fatalf("restart #1 counts: active=%d evicted=%d, want 0/%d", active, evicted, nSessions)
+	}
+	first := make(map[string]ObserveResponse, nSessions)
+	for _, id := range ids {
+		o := observeDigest(t, ts2.URL+"/v1/sessions/"+id)
+		if o.Time < floors[id] {
+			t.Fatalf("session %s resumed at t=%d, below acknowledged floor %d", id, o.Time, floors[id])
+		}
+		if o.Digest == "" {
+			t.Fatalf("session %s has no trace digest after resume", id)
+		}
+		first[id] = o
+	}
+	// Observing resumed sessions but appended nothing: the chains on
+	// disk are unchanged, so a second kill + restart must land on
+	// byte-identical state.
+	s2.Abort()
+	ts2.Close()
+
+	_, ts3 := newTestServer(t, Options{Dir: dir, StepBudget: 1_000_000})
+	for _, id := range ids {
+		o := observeDigest(t, ts3.URL+"/v1/sessions/"+id)
+		a, _ := json.Marshal(first[id])
+		b, _ := json.Marshal(o)
+		if !bytes.Equal(a, b) {
+			t.Fatalf("restart #2 diverged for %s:\n first %s\nsecond %s", id, a, b)
+		}
+		// And every resumed session keeps serving.
+		if status := postJSON("POST", ts3.URL+"/v1/sessions/"+id+"/step", StepRequest{Steps: 1}); status != http.StatusOK {
+			t.Fatalf("post-restart step on %s: status %d", id, status)
+		}
+	}
+}
