@@ -4,15 +4,19 @@
 
 GO ?= go
 
-.PHONY: verify build vet test race bench bench-json bench-check bench-step bench-ckpt bench-serve chaos-check obs-check replay-check serve-check vulncheck
+.PHONY: verify build vet fmt-check test race bench bench-json bench-check bench-step bench-ckpt bench-serve bench-queen chaos-check obs-check replay-check serve-check queen-check vulncheck
 
-verify: build vet race bench-check chaos-check obs-check replay-check serve-check vulncheck
+verify: build vet fmt-check race bench-check chaos-check obs-check replay-check serve-check queen-check vulncheck
 
 build:
 	$(GO) build ./...
 
 vet:
 	$(GO) vet ./...
+
+# Formatting gate: fails listing any file gofmt would rewrite.
+fmt-check:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then echo "gofmt needed:"; echo "$$out"; exit 1; fi
 
 test:
 	$(GO) test ./...
@@ -90,6 +94,22 @@ obs-check:
 serve-check:
 	$(GO) run ./cmd/waggle-serve -self-check
 	$(GO) run ./cmd/waggle-load -smoke -out /dev/null
+
+# Orchestrator gauntlet: the full chaos matrix under a queen with 4
+# worker processes, one worker SIGKILLed while it holds a shard with
+# banked checkpoint progress (forcing a lease expiry and a
+# checkpoint-migrating steal), and the queen itself restarted from its
+# journal mid-campaign. The merged report is sha256-compared against
+# the single-process waggle-chaos run and must be byte-identical
+# (DESIGN.md §5i).
+queen-check:
+	$(GO) run -race ./cmd/waggle-queen -self-check
+
+# Orchestrator scaling run: the chaos matrix and a sweep campaign at 1
+# vs 4 workers, plus a worker-kill run. Writes BENCH_queen.json (schema
+# waggle-bench-queen/v1; the queen table in EXPERIMENTS.md).
+bench-queen:
+	$(GO) run ./cmd/waggle-queen -bench -bench-out BENCH_queen.json
 
 # Full load run against an in-process daemon: 1000 concurrent sessions,
 # mixed create/step/evict/resume traffic and an overload burst. Writes

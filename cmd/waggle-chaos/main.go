@@ -19,12 +19,14 @@
 package main
 
 import (
+	"bytes"
 	"flag"
 	"fmt"
 	"os"
 	"os/signal"
 
 	"waggle"
+	"waggle/internal/ckpt"
 	"waggle/internal/obs"
 	"waggle/internal/sweep"
 )
@@ -72,7 +74,7 @@ func run(cfg config) error {
 		}
 		return nil
 	}
-	engine, err := parseEngine(cfg.engine)
+	engine, err := sweep.ParseEngineMode(cfg.engine)
 	if err != nil {
 		return err
 	}
@@ -154,16 +156,18 @@ func resumeCheck(cfg config, engine waggle.EngineMode) error {
 	return nil
 }
 
+// writeReport lands the report atomically (temp + fsync + rename):
+// a reader — or a CI diff — never sees a torn file, even if the
+// process dies mid-write.
 func writeReport(path string, report *sweep.ChaosReport) error {
 	if path == "-" {
 		return report.WriteJSON(os.Stdout)
 	}
-	f, err := os.Create(path)
-	if err != nil {
+	var buf bytes.Buffer
+	if err := report.WriteJSON(&buf); err != nil {
 		return err
 	}
-	defer f.Close()
-	return report.WriteJSON(f)
+	return ckpt.WriteFileAtomic(path, buf.Bytes())
 }
 
 // serveIntrospection starts the observability endpoint in the
@@ -185,17 +189,4 @@ func waitForInterrupt() {
 	ch := make(chan os.Signal, 1)
 	signal.Notify(ch, os.Interrupt)
 	<-ch
-}
-
-func parseEngine(name string) (waggle.EngineMode, error) {
-	switch name {
-	case "auto", "":
-		return waggle.EngineAuto, nil
-	case "sequential":
-		return waggle.EngineSequential, nil
-	case "parallel":
-		return waggle.EngineParallel, nil
-	default:
-		return 0, fmt.Errorf("unknown engine %q (auto|sequential|parallel)", name)
-	}
 }

@@ -8,17 +8,23 @@ import (
 	"io"
 	"net/http"
 	"os"
-	"strconv"
 	"sync"
 	"time"
 
 	"waggle/internal/obs"
+	"waggle/internal/retry"
 	"waggle/internal/serve"
 )
 
-// maxRetries bounds how often a simulated client honors Retry-After
-// before counting the op as failed.
-const maxRetries = 8
+// backpressurePolicy is how a simulated client honors Retry-After: up
+// to 8 retries, advertised waits capped at a second so a load run
+// cannot stall, no jitter (the daemon's advertised delays already
+// spread the herd).
+var backpressurePolicy = retry.Policy{
+	MaxAttempts: 9,
+	Base:        50 * time.Millisecond,
+	Cap:         time.Second,
+}.WithoutJitter()
 
 // loadClient is the shared state of all simulated clients: one HTTP
 // client, the latency samples, and the error tally.
@@ -71,7 +77,7 @@ func (lc *loadClient) recordLatency(d time.Duration) {
 
 // doJSON issues one request, honoring Retry-After backpressure like a
 // well-behaved client: 429/503 replies are retried after the advertised
-// delay, up to maxRetries.
+// delay (capped by backpressurePolicy), everything else is final.
 func (lc *loadClient) doJSON(method, url string, body, out any) (int, error) {
 	var payload []byte
 	if body != nil {
@@ -82,56 +88,43 @@ func (lc *loadClient) doJSON(method, url string, body, out any) (int, error) {
 		payload = b
 	}
 	var lastStatus int
-	for attempt := 0; attempt <= maxRetries; attempt++ {
+	err := retry.Do(backpressurePolicy, 0, nil, func(int) error {
 		var rd io.Reader
 		if payload != nil {
 			rd = bytes.NewReader(payload)
 		}
 		req, err := http.NewRequest(method, url, rd)
 		if err != nil {
-			return 0, err
+			return retry.Permanent(err)
 		}
 		if payload != nil {
 			req.Header.Set("Content-Type", "application/json")
 		}
 		resp, err := lc.hc.Do(req)
 		if err != nil {
-			return 0, err
+			return retry.Permanent(err)
 		}
 		raw, err := io.ReadAll(resp.Body)
 		resp.Body.Close()
 		if err != nil {
-			return 0, err
+			return retry.Permanent(err)
 		}
 		lastStatus = resp.StatusCode
 		if resp.StatusCode == http.StatusTooManyRequests || resp.StatusCode == http.StatusServiceUnavailable {
-			delay := 50 * time.Millisecond
-			if ra := resp.Header.Get("Retry-After"); ra != "" {
-				if secs, err := strconv.Atoi(ra); err == nil && secs >= 0 {
-					// Cap the advertised wait so a load run cannot stall.
-					if secs > 1 {
-						secs = 1
-					}
-					delay = time.Duration(secs) * time.Second
-					if delay == 0 {
-						delay = 50 * time.Millisecond
-					}
-				}
-			}
-			time.Sleep(delay)
-			continue
+			hint, _ := retry.ParseRetryAfter(resp.Header.Get("Retry-After"))
+			return retry.Hint(fmt.Errorf("%s %s: still backpressured (status %d)", method, url, resp.StatusCode), hint)
 		}
 		if resp.StatusCode >= 400 {
-			return resp.StatusCode, fmt.Errorf("%s %s: status %d: %s", method, url, resp.StatusCode, bytes.TrimSpace(raw))
+			return retry.Permanent(fmt.Errorf("%s %s: status %d: %s", method, url, resp.StatusCode, bytes.TrimSpace(raw)))
 		}
 		if out != nil && len(raw) > 0 {
 			if err := json.Unmarshal(raw, out); err != nil {
-				return resp.StatusCode, err
+				return retry.Permanent(err)
 			}
 		}
-		return resp.StatusCode, nil
-	}
-	return lastStatus, fmt.Errorf("%s %s: still backpressured (status %d) after %d retries", method, url, lastStatus, maxRetries)
+		return nil
+	})
+	return lastStatus, err
 }
 
 func (lc *loadClient) getJSON(url string, out any) error {

@@ -16,10 +16,12 @@
 package main
 
 import (
+	"bytes"
 	"flag"
 	"fmt"
 	"os"
 
+	"waggle/internal/ckpt"
 	"waggle/internal/sweep"
 )
 
@@ -65,14 +67,16 @@ func run(exp string, csv bool, workers int, out string) error {
 	return nil
 }
 
+// writeReport lands the report atomically (temp + fsync + rename):
+// a reader — or a CI diff — never sees a torn file, even if the
+// process dies mid-write.
 func writeReport(path string, report *sweep.SweepReport) error {
 	if path == "-" {
 		return report.WriteJSON(os.Stdout)
 	}
-	f, err := os.Create(path)
-	if err != nil {
+	var buf bytes.Buffer
+	if err := report.WriteJSON(&buf); err != nil {
 		return err
 	}
-	defer f.Close()
-	return report.WriteJSON(f)
+	return ckpt.WriteFileAtomic(path, buf.Bytes())
 }

@@ -56,9 +56,9 @@ func TestPlanValidate(t *testing.T) {
 		}
 	}
 	ok := Plan{Events: []Event{
-		{Kind: Crash, Robot: 0, At: 5},                              // crash-stop forever
-		{Kind: Crash, Robot: AllRobots, At: 0, Until: 3},            // crash-recover, everyone
-		{Kind: Displace, Robot: 1, At: 7, Delta: geom.V(1, 2)},      // no window needed
+		{Kind: Crash, Robot: 0, At: 5},                               // crash-stop forever
+		{Kind: Crash, Robot: AllRobots, At: 0, Until: 3},             // crash-recover, everyone
+		{Kind: Displace, Robot: 1, At: 7, Delta: geom.V(1, 2)},       // no window needed
 		{Kind: MoveError, Robot: 2, At: 0, Until: 9, Min: 1, Max: 1}, // degenerate range
 	}}
 	if err := ok.Validate(4); err != nil {

@@ -1,0 +1,164 @@
+package queen
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sync"
+)
+
+// The journal is the queen's durable task-graph state: a JSONL file
+// whose first line records the campaign spec and whose subsequent
+// lines record shard completions and the final merge, each fsynced
+// before the triggering request is acknowledged. A restarted queen
+// replays it to resume the campaign without re-running finished
+// shards. Leases and snapshots are deliberately NOT journaled — they
+// are volatile coordination state, reconstructed by the live protocol
+// (a shard in flight when the queen died is simply leased again).
+//
+// A torn final line (queen killed mid-append) is tolerated on read:
+// the event it described simply did not happen.
+
+// journalEvent is one JSONL record.
+type journalEvent struct {
+	Ev string `json:"ev"` // "campaign" | "done" | "merged"
+	// Spec is set on "campaign".
+	Spec *Spec `json:"spec,omitempty"`
+	// Shard and Result are set on "done".
+	Shard  string          `json:"shard,omitempty"`
+	Result json.RawMessage `json:"result,omitempty"`
+}
+
+// journalWriter appends fsynced events.
+type journalWriter struct {
+	mu sync.Mutex
+	f  *os.File
+}
+
+// openJournal opens (or creates) the journal at path. A fresh file
+// gets the campaign record; an existing one must already describe the
+// same campaign — NewFromJournal is the path for resuming.
+func openJournal(path string, spec Spec) (*journalWriter, error) {
+	st, err := os.Stat(path)
+	fresh := err != nil || st.Size() == 0
+	if !fresh {
+		rec, err := readJournal(path)
+		if err != nil {
+			return nil, err
+		}
+		if !specEqual(spec, rec.spec) {
+			return nil, fmt.Errorf("queen: journal %s holds a different campaign; resume it with -journal alone or point -journal elsewhere", path)
+		}
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	jw := &journalWriter{f: f}
+	if fresh {
+		if err := jw.append(journalEvent{Ev: "campaign", Spec: &spec}); err != nil {
+			f.Close()
+			return nil, err
+		}
+	}
+	return jw, nil
+}
+
+func (jw *journalWriter) append(ev journalEvent) error {
+	line, err := json.Marshal(ev)
+	if err != nil {
+		return err
+	}
+	line = append(line, '\n')
+	jw.mu.Lock()
+	defer jw.mu.Unlock()
+	if jw.f == nil {
+		return fmt.Errorf("queen: journal closed")
+	}
+	if _, err := jw.f.Write(line); err != nil {
+		return fmt.Errorf("queen: journal append: %w", err)
+	}
+	if err := jw.f.Sync(); err != nil {
+		return fmt.Errorf("queen: journal sync: %w", err)
+	}
+	return nil
+}
+
+func (jw *journalWriter) appendDone(shard string, result json.RawMessage) error {
+	return jw.append(journalEvent{Ev: "done", Shard: shard, Result: result})
+}
+
+func (jw *journalWriter) appendMerged() error {
+	return jw.append(journalEvent{Ev: "merged"})
+}
+
+func (jw *journalWriter) close() {
+	jw.mu.Lock()
+	defer jw.mu.Unlock()
+	if jw.f != nil {
+		jw.f.Close()
+		jw.f = nil
+	}
+}
+
+// journalRecord is a replayed journal: the campaign and its completed
+// shards.
+type journalRecord struct {
+	spec    Spec
+	results map[string]json.RawMessage
+	merged  bool
+}
+
+// readJournal replays the journal at path. The last line may be torn;
+// any other malformed line is corruption and an error.
+func readJournal(path string) (*journalRecord, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	rec := &journalRecord{results: map[string]json.RawMessage{}}
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 1<<20), 64<<20)
+	var torn error
+	n := 0
+	for sc.Scan() {
+		if torn != nil {
+			return nil, fmt.Errorf("queen: journal %s line %d: %w", path, n, torn)
+		}
+		n++
+		var ev journalEvent
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			// Tolerated only as the final line (torn append).
+			torn = err
+			continue
+		}
+		switch ev.Ev {
+		case "campaign":
+			if n != 1 {
+				return nil, fmt.Errorf("queen: journal %s: campaign record on line %d", path, n)
+			}
+			rec.spec = *ev.Spec
+		case "done":
+			if n == 1 {
+				return nil, fmt.Errorf("queen: journal %s does not start with a campaign record", path)
+			}
+			rec.results[ev.Shard] = ev.Result
+		case "merged":
+			rec.merged = true
+		default:
+			return nil, fmt.Errorf("queen: journal %s line %d: unknown event %q", path, n, ev.Ev)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if n == 0 {
+		return nil, fmt.Errorf("queen: journal %s is empty", path)
+	}
+	if rec.spec.Kind == "" {
+		return nil, fmt.Errorf("queen: journal %s does not start with a campaign record", path)
+	}
+	return rec, nil
+}

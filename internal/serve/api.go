@@ -12,6 +12,7 @@ import (
 
 	"waggle"
 	"waggle/internal/obs"
+	"waggle/internal/retry"
 )
 
 // maxBodyBytes bounds request bodies: session configs and payloads are
@@ -89,14 +90,14 @@ type WireMessage struct {
 // trace digest (sessions created with trace only, and only when
 // ?digest=1) — two runs with equal digests moved identically.
 type ObserveResponse struct {
-	ID             string       `json:"id"`
-	State          string       `json:"state"`
-	Time           int          `json:"time"`
-	Resumes        int64        `json:"resumes"`
-	StepBudgetLeft int          `json:"step_budget_left"`
-	Positions      [][2]float64 `json:"positions"`
+	ID             string        `json:"id"`
+	State          string        `json:"state"`
+	Time           int           `json:"time"`
+	Resumes        int64         `json:"resumes"`
+	StepBudgetLeft int           `json:"step_budget_left"`
+	Positions      [][2]float64  `json:"positions"`
 	Delivered      []WireMessage `json:"delivered"`
-	Digest         string       `json:"digest,omitempty"`
+	Digest         string        `json:"digest,omitempty"`
 }
 
 // InfoResponse is the lock-free session summary (GET /v1/sessions/{id}
@@ -150,9 +151,9 @@ func (s *Server) timed(h http.HandlerFunc) http.HandlerFunc {
 			writeJSON(w, http.StatusServiceUnavailable, errResponse{"server is draining"})
 			return
 		}
-		if ok, retry := s.limiter.take(); !ok {
+		if ok, retryIn := s.limiter.take(); !ok {
 			s.m.Throttled.Inc()
-			w.Header().Set("Retry-After", retryAfterSeconds(retry))
+			w.Header().Set("Retry-After", retry.CeilSeconds(retryIn))
 			writeJSON(w, http.StatusTooManyRequests, errResponse{"rate limit exceeded"})
 			return
 		}
@@ -598,9 +599,4 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
 	_ = json.NewEncoder(w).Encode(v)
-}
-
-func retryAfterSeconds(d time.Duration) string {
-	secs := int(d/time.Second) + 1
-	return strconv.Itoa(secs)
 }

@@ -358,8 +358,8 @@ type chaosMsg struct {
 // one mid-run (the ledger and cursor are harness state, reconstructed
 // identically because the restored stack reports identical deliveries).
 type chaosRun struct {
-	sc    ChaosScenario
-	trace bool
+	sc     ChaosScenario
+	trace  bool
 	s      *waggle.Swarm
 	bm     *waggle.BackupMessenger
 	radio  *waggle.Radio

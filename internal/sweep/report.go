@@ -2,6 +2,7 @@ package sweep
 
 import (
 	"encoding/json"
+	"fmt"
 	"io"
 
 	"waggle"
@@ -118,6 +119,25 @@ func engineName(engine waggle.EngineMode) string {
 		return "parallel"
 	default:
 		return "auto"
+	}
+}
+
+// EngineModeName is the stable report-schema name of an engine mode.
+func EngineModeName(engine waggle.EngineMode) string { return engineName(engine) }
+
+// ParseEngineMode parses the report-schema engine name ("" = auto) —
+// the shared inverse of EngineModeName for CLIs and the queen wire
+// protocol.
+func ParseEngineMode(name string) (waggle.EngineMode, error) {
+	switch name {
+	case "auto", "":
+		return waggle.EngineAuto, nil
+	case "sequential":
+		return waggle.EngineSequential, nil
+	case "parallel":
+		return waggle.EngineParallel, nil
+	default:
+		return 0, fmt.Errorf("sweep: unknown engine %q (auto|sequential|parallel)", name)
 	}
 }
 

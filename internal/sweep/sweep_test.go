@@ -143,6 +143,41 @@ func TestRunAllFirstErrorPropagates(t *testing.T) {
 	}
 }
 
+// TestRunAllManyConcurrentFailures interleaves several unknown
+// experiments among healthy ones at a worker count that guarantees
+// failures complete out of request order, and pins the full contract:
+// the returned error is the earliest failure by request position (not
+// by completion time), every failure is recorded in place, and every
+// healthy experiment still runs to completion.
+func TestRunAllManyConcurrentFailures(t *testing.T) {
+	names := []string{"silence", "bogus-a", "drift", "bogus-b", "msgsize", "bogus-c"}
+	results, err := RunAll(names, 4)
+	if err == nil {
+		t.Fatal("batch with unknown experiments succeeded")
+	}
+	if len(results) != len(names) {
+		t.Fatalf("%d results for %d names", len(results), len(names))
+	}
+	for i, r := range results {
+		if r.Name != names[i] {
+			t.Errorf("result %d is %q, want %q", i, r.Name, names[i])
+		}
+	}
+	for _, i := range []int{1, 3, 5} {
+		if results[i].Err == nil {
+			t.Errorf("unknown experiment %q did not record an error", names[i])
+		}
+	}
+	for _, i := range []int{0, 2, 4} {
+		if results[i].Err != nil || results[i].Table == nil {
+			t.Errorf("healthy experiment %q did not complete alongside failures", names[i])
+		}
+	}
+	if err != results[1].Err {
+		t.Errorf("returned error %v is not the first failure in request order %v", err, results[1].Err)
+	}
+}
+
 // TestRunAllEmpty: a zero-length batch is a no-op, not a hang.
 func TestRunAllEmpty(t *testing.T) {
 	results, err := RunAll(nil, 4)

@@ -96,8 +96,8 @@ type writer struct {
 	buf []byte
 }
 
-func (w *writer) raw(b []byte)    { w.buf = append(w.buf, b...) }
-func (w *writer) byte(b byte)     { w.buf = append(w.buf, b) }
+func (w *writer) raw(b []byte)     { w.buf = append(w.buf, b...) }
+func (w *writer) byte(b byte)      { w.buf = append(w.buf, b) }
 func (w *writer) uvarint(v uint64) { w.buf = binary.AppendUvarint(w.buf, v) }
 func (w *writer) varint(v int64)   { w.buf = binary.AppendVarint(w.buf, v) }
 func (w *writer) uint(v int)       { w.uvarint(uint64(v)) }
