@@ -4,9 +4,9 @@
 
 GO ?= go
 
-.PHONY: verify build vet fmt-check test race bench bench-json bench-check bench-step bench-ckpt bench-serve bench-queen chaos-check obs-check replay-check serve-check queen-check vulncheck
+.PHONY: verify build vet fmt-check test race bench bench-json bench-check bench-step bench-ckpt bench-serve bench-queen bench-stream chaos-check obs-check replay-check serve-check stream-check queen-check vulncheck
 
-verify: build vet fmt-check race bench-check chaos-check obs-check replay-check serve-check queen-check vulncheck
+verify: build vet fmt-check race bench-check chaos-check obs-check replay-check serve-check stream-check queen-check vulncheck
 
 build:
 	$(GO) build ./...
@@ -58,6 +58,7 @@ bench-check:
 	$(GO) run ./cmd/waggle-bench -smoke
 	$(GO) run ./cmd/waggle-bench -step -smoke
 	$(GO) run ./cmd/waggle-bench -ckpt -smoke
+	$(GO) run ./cmd/waggle-bench -stream -smoke
 
 # Chaos smoke: one fast scenario per fault family through the
 # fault-injection harness. The full table (EXPERIMENTS.md) is
@@ -94,6 +95,23 @@ obs-check:
 serve-check:
 	$(GO) run ./cmd/waggle-serve -self-check
 	$(GO) run ./cmd/waggle-load -smoke -out /dev/null
+
+# Streaming-trace gate: record a deterministic run to a
+# waggle-stream/v1 file and prove the crash contract end to end — the
+# stream replays to the un-streamed control's trace digest under both
+# engines (byte-identical files), a spectator joining at the latest
+# keyframe converges to the live end state, and a kill -9 mid-append
+# loses at most the torn tail record (DESIGN.md §5j). Run under -race:
+# the stream taps ride the step loop next to the parallel engine.
+stream-check:
+	$(GO) run -race ./cmd/waggle-sim -stream-check
+
+# Stream-writer overhead run: ns/step with the waggle-stream/v1 writer
+# attached vs detached at n up to 1,000,000, plus the spectate
+# join-mid-stream latency. Writes BENCH_stream.json (schema
+# waggle-bench-stream/v1; the streaming table in EXPERIMENTS.md).
+bench-stream:
+	$(GO) run ./cmd/waggle-bench -stream -out BENCH_stream.json
 
 # Orchestrator gauntlet: the full chaos matrix under a queen with 4
 # worker processes, one worker SIGKILLed while it holds a shard with

@@ -12,6 +12,8 @@
 //	waggle-bench -step -smoke         # tiny step-engine run, write nothing
 //	waggle-bench -ckpt                # checkpoint codec run, writes BENCH_ckpt.json
 //	waggle-bench -ckpt -smoke         # n=10k ratio check, write nothing
+//	waggle-bench -stream              # stream-writer overhead run, writes BENCH_stream.json
+//	waggle-bench -stream -smoke       # tiny paired run + decode check, write nothing
 package main
 
 import (
@@ -55,10 +57,11 @@ type scenario struct {
 }
 
 func main() {
-	out := flag.String("out", "", "output JSON path (default BENCH_spatial.json; BENCH_step.json with -step; BENCH_ckpt.json with -ckpt)")
+	out := flag.String("out", "", "output JSON path (default BENCH_spatial.json; BENCH_step.json with -step; BENCH_ckpt.json with -ckpt; BENCH_stream.json with -stream)")
 	smoke := flag.Bool("smoke", false, "run each scenario body once and write nothing")
 	step := flag.Bool("step", false, "run the step-engine scaling benchmark instead of the spatial scenarios")
 	ckpt := flag.Bool("ckpt", false, "run the checkpoint-codec benchmark (json vs binary vs delta) instead of the spatial scenarios")
+	stream := flag.Bool("stream", false, "run the stream-writer overhead benchmark (waggle-stream/v1 on vs off) instead of the spatial scenarios")
 	flag.Parse()
 	if *step {
 		if *out == "" {
@@ -75,6 +78,16 @@ func main() {
 			*out = "BENCH_ckpt.json"
 		}
 		if err := runCkpt(*out, *smoke); err != nil {
+			fmt.Fprintln(os.Stderr, "waggle-bench:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *stream {
+		if *out == "" {
+			*out = "BENCH_stream.json"
+		}
+		if err := runStream(*out, *smoke); err != nil {
 			fmt.Fprintln(os.Stderr, "waggle-bench:", err)
 			os.Exit(1)
 		}

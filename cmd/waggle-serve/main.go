@@ -49,6 +49,7 @@ type config struct {
 	burst        int
 	observeWait  time.Duration
 	drainTimeout time.Duration
+	stream       bool
 	selfCheck    bool
 }
 
@@ -67,7 +68,8 @@ func main() {
 	flag.DurationVar(&cfg.evictScan, "evict-scan", 0, "idle-eviction scan period (0 = default 1s)")
 	flag.Float64Var(&cfg.rate, "rate", 0, "global token-bucket rate over /v1 requests in ops/s (0 = unthrottled)")
 	flag.IntVar(&cfg.burst, "burst", 0, "token-bucket burst (0 = rate)")
-	flag.DurationVar(&cfg.observeWait, "max-observe-wait", 0, "longest observe long-poll (0 = default 30s)")
+	flag.DurationVar(&cfg.observeWait, "max-observe-wait", 0, "longest observe/spectate long-poll (0 = default 30s)")
+	flag.BoolVar(&cfg.stream, "stream", false, "record a waggle-stream/v1 movement stream per session and serve the spectate endpoint")
 	flag.DurationVar(&cfg.drainTimeout, "drain-timeout", 30*time.Second, "how long shutdown waits for in-flight work to drain")
 	flag.BoolVar(&cfg.selfCheck, "self-check", false, "start on an ephemeral port, run one create/step/evict/resume/delete cycle, drain, and exit")
 	flag.Parse()
@@ -80,6 +82,8 @@ func main() {
 func run(cfg config) error {
 	if cfg.selfCheck {
 		cfg.listen = "127.0.0.1:0"
+		// The self-check exercises the full surface, streaming included.
+		cfg.stream = true
 		dir, err := os.MkdirTemp("", "waggle-serve-check-*")
 		if err != nil {
 			return err
@@ -103,6 +107,7 @@ func run(cfg config) error {
 		Rate:               cfg.rate,
 		Burst:              cfg.burst,
 		MaxObserveWait:     cfg.observeWait,
+		Stream:             cfg.stream,
 	}, ob)
 	if err != nil {
 		return err

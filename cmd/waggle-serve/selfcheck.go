@@ -64,6 +64,40 @@ func selfCheck(base string, srv *serve.Server) error {
 		return fmt.Errorf("serve-check: no trace digest on a traced session")
 	}
 
+	// Spectate the session's movement stream from the beginning: the
+	// stream must hold a header, the instant-0 keyframe, the 20 steps
+	// (with the evict-time closing keyframe and the resume-time reopen
+	// keyframe in between), and rolling the moves forward must land on
+	// the observed positions.
+	var spec serve.SpectateResponse
+	if err := call("GET", sessURL+"/spectate?offset=0", nil, http.StatusOK, &spec); err != nil {
+		return fmt.Errorf("serve-check: spectate: %w", err)
+	}
+	steps, keyframes := 0, 0
+	for _, rec := range spec.Records {
+		switch rec.Kind {
+		case "step":
+			steps++
+		case "keyframe":
+			keyframes++
+		}
+	}
+	if len(spec.Records) == 0 || spec.Records[0].Kind != "header" || steps != 20 || keyframes < 3 {
+		return fmt.Errorf("serve-check: spectate saw %d records (%d steps, %d keyframes), want header + 20 steps + >=3 keyframes",
+			len(spec.Records), steps, keyframes)
+	}
+	pos := append([][2]float64(nil), spec.Records[1].Positions...)
+	for _, rec := range spec.Records[2:] {
+		for _, m := range rec.Moves {
+			pos[m.Robot] = [2]float64{m.X, m.Y}
+		}
+	}
+	for i, p := range observed.Positions {
+		if pos[i] != p {
+			return fmt.Errorf("serve-check: spectate replay diverged at robot %d: %v vs observed %v", i, pos[i], p)
+		}
+	}
+
 	var snap obs.Snapshot
 	if err := call("GET", base+"/metrics.json", nil, http.StatusOK, &snap); err != nil {
 		return fmt.Errorf("serve-check: metrics.json: %w", err)
@@ -72,6 +106,7 @@ func selfCheck(base string, srv *serve.Server) error {
 		"waggle_serve_sessions_created_total",
 		"waggle_serve_evictions_total",
 		"waggle_serve_resumes_total",
+		"waggle_serve_spectates_total",
 	} {
 		if v, ok := snap.CounterValue(name); !ok || v == 0 {
 			return fmt.Errorf("serve-check: counter %s missing or zero", name)
@@ -81,7 +116,8 @@ func selfCheck(base string, srv *serve.Server) error {
 	if err := call("DELETE", sessURL, nil, http.StatusNoContent, nil); err != nil {
 		return fmt.Errorf("serve-check: delete: %w", err)
 	}
-	fmt.Printf("serve-check ok: session %s created, stepped to t=10, evicted, resumed to t=20, deleted\n", created.ID)
+	fmt.Printf("serve-check ok: session %s created, stepped to t=10, evicted, resumed to t=20, spectated %d stream records, deleted\n",
+		created.ID, len(spec.Records))
 	return nil
 }
 

@@ -50,6 +50,11 @@ type config struct {
 	ckptEvery int    // -checkpoint-every: save every N instants while waiting
 	ckptCodec string // -ckpt-codec: checkpoint serialization format
 	resume    string // -resume: continue a run from this checkpoint file
+
+	stream       string // -stream: record a waggle-stream/v1 movement stream
+	replayStream string // -replay-stream: verify and summarize a stream file
+	streamCheck  bool   // -stream-check: validate the streaming pipeline and exit
+	streamVictim string // -stream-victim: internal stream-check kill -9 target
 }
 
 func main() {
@@ -74,6 +79,10 @@ func main() {
 	flag.IntVar(&cfg.ckptEvery, "checkpoint-every", 0, "while waiting for delivery, save a checkpoint every N instants (requires -checkpoint)")
 	flag.StringVar(&cfg.ckptCodec, "ckpt-codec", "delta", "checkpoint serialization: json (debuggable v1 envelope), binary (compact v2), delta (binary base + per-save delta frames)")
 	flag.StringVar(&cfg.resume, "resume", "", "resume a run from this checkpoint file instead of starting fresh")
+	flag.StringVar(&cfg.stream, "stream", "", "record a waggle-stream/v1 movement stream (appendable, spectatable, crash-tolerant) to this file")
+	flag.StringVar(&cfg.replayStream, "replay-stream", "", "replay and verify a waggle-stream/v1 file instead of running, printing its digests")
+	flag.BoolVar(&cfg.streamCheck, "stream-check", false, "validate the streaming pipeline (engine parity, mid-stream join, kill -9 torn-tail tolerance) and exit")
+	flag.StringVar(&cfg.streamVictim, "stream-victim", "", "(internal) stream-check victim: stream an unbounded run to this file until killed")
 	flag.Parse()
 	cfg.block = cfg.listen != ""
 	if err := run(cfg); err != nil {
@@ -85,6 +94,15 @@ func main() {
 func run(cfg config) error {
 	if cfg.obsCheck {
 		return obsCheck()
+	}
+	if cfg.streamCheck {
+		return streamCheck()
+	}
+	if cfg.streamVictim != "" {
+		return streamVictim(cfg.streamVictim)
+	}
+	if cfg.replayStream != "" {
+		return replayStream(cfg.replayStream)
 	}
 	if cfg.ckptEvery > 0 && cfg.ckptPath == "" {
 		return fmt.Errorf("-checkpoint-every requires -checkpoint")
@@ -100,6 +118,9 @@ func run(cfg config) error {
 	}
 
 	opts := []waggle.Option{waggle.WithSeed(cfg.seed), waggle.WithTrace()}
+	if cfg.stream != "" {
+		opts = append(opts, waggle.WithStream(cfg.stream))
+	}
 	if cfg.sync {
 		opts = append(opts, waggle.WithSynchronous())
 	}
@@ -161,6 +182,13 @@ func runResumed(cfg config) error {
 		return err
 	}
 	swarm := res.Swarm
+	if cfg.stream != "" {
+		// Attach after the restore replay: an existing stream file is
+		// appended to (the evict/resume pattern), never re-streamed.
+		if _, err := swarm.NewStreamWriter(cfg.stream); err != nil {
+			return err
+		}
+	}
 	if cfg.listen != "" {
 		if res.Observer == nil {
 			return fmt.Errorf("-listen with -resume needs a checkpoint captured with an observer")
@@ -226,6 +254,14 @@ func finishRun(cfg config, swarm *waggle.Swarm, budget int) error {
 		}
 		if !cfg.quiet {
 			fmt.Printf("trace written to %s\n", cfg.tracePath)
+		}
+	}
+	if sw := swarm.Stream(); sw != nil {
+		if err := sw.Close(); err != nil {
+			return err
+		}
+		if !cfg.quiet {
+			fmt.Printf("stream (%d bytes) written to %s\n", sw.Offset(), sw.Path())
 		}
 	}
 	if cfg.block {

@@ -286,6 +286,27 @@ func (n *Network) DeliveredSince(from int) []protocol.Received {
 	return append([]protocol.Received(nil), n.delivered[from:]...)
 }
 
+// CollectedSince returns a copy of the already-collected deliveries
+// past the first `from` ones, WITHOUT sweeping the endpoints. Unlike
+// DeliveredSince it is safe to call from inside a World.Step hook (the
+// movement-stream tap): a sweep there would harvest the step's fresh
+// receptions before the post-step collect and stamp their trace events
+// one instant early. The cost is that a stream sees each delivery one
+// step after the reception, deterministically.
+func (n *Network) CollectedSince(from int) []protocol.Received {
+	if from < 0 {
+		from = 0
+	}
+	if from >= len(n.delivered) {
+		return nil
+	}
+	return append([]protocol.Received(nil), n.delivered[from:]...)
+}
+
+// CollectedCount reports how many deliveries have been collected so
+// far, without sweeping the endpoints.
+func (n *Network) CollectedCount() int { return len(n.delivered) }
+
 // Scheduler exposes the activation scheduler driving the network's
 // steps, for checkpoint capture of its stream state.
 func (n *Network) Scheduler() sim.Scheduler { return n.scheduler }

@@ -13,6 +13,12 @@ type Observer struct {
 	reg  *Registry
 	ring *Ring
 
+	// sink, when set, sees every recorded event in addition to the
+	// ring. Record may be called from engine worker goroutines, so the
+	// sink must be safe for concurrent calls; the field itself may
+	// only be set between steps (same discipline as World.SetObserver).
+	sink EventSink
+
 	// Sim is the step-engine instrumentation.
 	Sim struct {
 		// Steps counts completed instants; Activations counts robot
@@ -112,12 +118,31 @@ func (o *Observer) Registry() *Registry {
 	return o.reg
 }
 
+// EventSink taps the event flow ahead of the ring's retention limit —
+// the movement-stream writer uses it to persist fault events the ring
+// may have already evicted by snapshot time. Implementations must be
+// concurrency-safe: the parallel engine records perturbation events
+// from worker goroutines.
+type EventSink func(Event)
+
+// SetEventSink attaches (or, with nil, detaches) the event tap. Safe
+// between steps only; nil-observer safe.
+func (o *Observer) SetEventSink(sink EventSink) {
+	if o == nil {
+		return
+	}
+	o.sink = sink
+}
+
 // Record appends a trace event; a nil observer drops it.
 func (o *Observer) Record(e Event) {
 	if o == nil {
 		return
 	}
 	o.ring.Append(e)
+	if o.sink != nil {
+		o.sink(e)
+	}
 }
 
 // TraceEvents returns the normalized retained trace (nil observer:

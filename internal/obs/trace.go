@@ -135,6 +135,14 @@ func (e Event) less(o Event) bool {
 	return e.Val < o.Val
 }
 
+// SortEvents sorts events into the canonical (T, Robot, Kind, Peer,
+// Val) trace order — the same normalization Ring.Events applies — so
+// external consumers (the movement-stream writer batching one step's
+// events) produce engine-independent output.
+func SortEvents(evs []Event) {
+	sort.Slice(evs, func(i, j int) bool { return evs[i].less(evs[j]) })
+}
+
 // Ring is a bounded ring buffer of trace events: the newest capacity
 // events are retained, older ones are overwritten. Appends take a
 // mutex — events are emitted from worker goroutines under the parallel

@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"os"
 	"path/filepath"
 	"strconv"
 	"time"
@@ -13,6 +14,7 @@ import (
 	"waggle"
 	"waggle/internal/obs"
 	"waggle/internal/retry"
+	"waggle/internal/wire"
 )
 
 // maxBodyBytes bounds request bodies: session configs and payloads are
@@ -134,6 +136,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/sessions/{id}/step", s.timed(s.handleStep))
 	mux.HandleFunc("POST /v1/sessions/{id}/send", s.timed(s.handleSend))
 	mux.HandleFunc("GET /v1/sessions/{id}/observe", s.timed(s.handleObserve))
+	mux.HandleFunc("GET /v1/sessions/{id}/spectate", s.timed(s.handleSpectate))
 	return mux
 }
 
@@ -147,7 +150,7 @@ func (s *Server) timed(h http.HandlerFunc) http.HandlerFunc {
 		s.m.Requests.Inc()
 		if s.Draining() {
 			s.m.Shed.Inc()
-			w.Header().Set("Retry-After", "1")
+			w.Header().Set("Retry-After", s.retryHintFor(errDraining))
 			writeJSON(w, http.StatusServiceUnavailable, errResponse{"server is draining"})
 			return
 		}
@@ -185,7 +188,7 @@ func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
 	s.mu.RUnlock()
 	if atCapacity {
 		s.m.Shed.Inc()
-		w.Header().Set("Retry-After", "5")
+		w.Header().Set("Retry-After", s.retryHintFor(nil))
 		writeJSON(w, http.StatusServiceUnavailable, errResponse{"session capacity reached"})
 		return
 	}
@@ -203,6 +206,9 @@ func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
 		shard: shardOf(id, s.opts.Shards),
 		path:  filepath.Join(s.opts.Dir, id+ckptSuffix),
 	}
+	if s.opts.Stream {
+		sess.streamPath = filepath.Join(s.opts.Dir, id+streamSuffix)
+	}
 	ctx, cancel := context.WithTimeout(r.Context(), s.opts.RequestTimeout)
 	defer cancel()
 	var resp CreateResponse
@@ -219,6 +225,9 @@ func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
 		writer, err := swarm.NewCheckpointWriter(sess.path, waggle.CodecDelta)
 		if err == nil {
 			err = writer.Save()
+		}
+		if err == nil && sess.streamPath != "" {
+			_, err = swarm.NewStreamWriter(sess.streamPath)
 		}
 		if err != nil {
 			buildErr = err
@@ -243,7 +252,7 @@ func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
 		s.mu.Unlock()
 		_ = sess.remove()
 		s.m.Shed.Inc()
-		w.Header().Set("Retry-After", "5")
+		w.Header().Set("Retry-After", s.retryHintFor(nil))
 		writeJSON(w, http.StatusServiceUnavailable, errResponse{"session capacity reached"})
 		return
 	}
@@ -356,8 +365,15 @@ func (s *Server) handleObserve(w http.ResponseWriter, r *http.Request) {
 	if wait > s.opts.MaxObserveWait {
 		wait = s.opts.MaxObserveWait
 	}
-	deadline := time.Now().Add(wait)
-	ctx, cancel := context.WithTimeout(r.Context(), wait+s.opts.RequestTimeout)
+	// One deadline governs the whole long-poll: both the loop's expiry
+	// check and the submission context derive from the same clock read.
+	// (They used to be computed from two separate time.Now() calls, so
+	// the context could outlive the loop's deadline by the skew between
+	// them and the final poll of a satisfied wait could be skipped; the
+	// strict time.Now().After(deadline) check also made wait=0 sleep a
+	// full poll period on a coarse clock instead of answering at once.)
+	pollDeadline := time.Now().Add(wait)
+	ctx, cancel := context.WithDeadline(r.Context(), pollDeadline.Add(s.opts.RequestTimeout))
 	defer cancel()
 	for {
 		var resp ObserveResponse
@@ -373,14 +389,18 @@ func (s *Server) handleObserve(w http.ResponseWriter, r *http.Request) {
 		// Long-poll: hold the request open until enough messages have
 		// been delivered (by other clients stepping the session) or
 		// the wait expires.
-		if len(resp.Delivered) >= minDelivered || time.Now().After(deadline) {
+		if len(resp.Delivered) >= minDelivered || !time.Now().Before(pollDeadline) {
 			writeJSON(w, http.StatusOK, resp)
 			return
+		}
+		sleep := observePollEvery
+		if rem := time.Until(pollDeadline); rem < sleep {
+			sleep = rem
 		}
 		select {
 		case <-r.Context().Done():
 			return
-		case <-time.After(observePollEvery):
+		case <-time.After(sleep):
 		}
 	}
 }
@@ -415,6 +435,249 @@ func (s *Server) observeLocked(sess *session, withDigest bool) (ObserveResponse,
 		resp.Digest = ck.State.TraceDigest
 	}
 	return resp, nil
+}
+
+// SpectateMove is one robot relocation inside a spectate record.
+type SpectateMove struct {
+	Robot int     `json:"robot"`
+	X     float64 `json:"x"`
+	Y     float64 `json:"y"`
+}
+
+// SpectateEvent is one fault-family trace event inside a spectate
+// record.
+type SpectateEvent struct {
+	Kind  string  `json:"kind"`
+	T     int     `json:"t"`
+	Robot int     `json:"robot"`
+	Peer  int     `json:"peer,omitempty"`
+	Val   float64 `json:"val,omitempty"`
+}
+
+// SpectateRecord is one decoded waggle-stream/v1 record. Keyframes
+// carry the full configuration (Positions, cumulative DeliveredTotal,
+// and — on the closing keyframe of a traced session — the trace
+// Digest); step records carry the instant's deltas.
+type SpectateRecord struct {
+	Kind           string          `json:"kind"`
+	Offset         int64           `json:"offset"`
+	Next           int64           `json:"next_offset"`
+	T              int             `json:"t"`
+	Positions      [][2]float64    `json:"positions,omitempty"`
+	DeliveredTotal int             `json:"delivered_total,omitempty"`
+	Digest         string          `json:"digest,omitempty"`
+	Moves          []SpectateMove  `json:"moves,omitempty"`
+	Active         []int           `json:"active,omitempty"`
+	Deliveries     []WireMessage   `json:"deliveries,omitempty"`
+	Events         []SpectateEvent `json:"events,omitempty"`
+}
+
+// SpectateResponse is the long-poll GET /v1/sessions/{id}/spectate
+// reply: the stream records from the requested offset, and the offset
+// to pass back to continue the tail. Torn reports a crash-cut trailing
+// record still being appended — poll again from NextOffset.
+type SpectateResponse struct {
+	ID         string           `json:"id"`
+	NextOffset int64            `json:"next_offset"`
+	Torn       bool             `json:"torn,omitempty"`
+	Records    []SpectateRecord `json:"records"`
+}
+
+func spectateRecordOf(rec wire.StreamRecord) SpectateRecord {
+	out := SpectateRecord{
+		Kind:           rec.Kind,
+		Offset:         rec.Offset,
+		Next:           rec.Next,
+		T:              rec.T,
+		DeliveredTotal: rec.Delivered,
+		Digest:         rec.Digest,
+		Active:         rec.Active,
+	}
+	if len(rec.Positions) > 0 {
+		out.Positions = make([][2]float64, len(rec.Positions))
+		for i, p := range rec.Positions {
+			out.Positions[i] = [2]float64{p.X, p.Y}
+		}
+	}
+	if len(rec.Moves) > 0 {
+		out.Moves = make([]SpectateMove, len(rec.Moves))
+		for i, m := range rec.Moves {
+			out.Moves[i] = SpectateMove{Robot: m.Robot, X: m.To.X, Y: m.To.Y}
+		}
+	}
+	if len(rec.Deliveries) > 0 {
+		out.Deliveries = make([]WireMessage, len(rec.Deliveries))
+		for i, d := range rec.Deliveries {
+			out.Deliveries[i] = WireMessage{From: d.From, To: d.To, Payload: d.Payload}
+		}
+	}
+	if len(rec.Events) > 0 {
+		out.Events = make([]SpectateEvent, len(rec.Events))
+		for i, e := range rec.Events {
+			out.Events[i] = SpectateEvent{
+				Kind: obs.EventKind(e.Kind).String(), T: e.T, Robot: e.Robot, Peer: e.Peer, Val: e.Val,
+			}
+		}
+	}
+	return out
+}
+
+// maxSpectateRecords caps one spectate reply/poll batch.
+const maxSpectateRecords = 4096
+
+// handleSpectate tails a session's movement stream. It reads the
+// stream file directly — never touching the session, so spectating an
+// evicted session does not resume it and spectators do not reset the
+// idle clock or contend on the shard queue. ?offset is the record
+// boundary to start from (omitted or -1: the latest keyframe, the
+// mid-stream join point); ?wait long-polls until records appear past
+// the offset; ?max caps the batch; ?sse=1 (or Accept:
+// text/event-stream) switches to server-sent events, one event per
+// record with the record's next offset as the event id, honoring
+// Last-Event-ID on reconnect.
+func (s *Server) handleSpectate(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	s.mu.RLock()
+	sess := s.sessions[id]
+	s.mu.RUnlock()
+	if sess == nil || sess.deleted.Load() {
+		writeJSON(w, http.StatusNotFound, errResponse{"unknown session"})
+		return
+	}
+	if sess.streamPath == "" {
+		writeJSON(w, http.StatusNotFound, errResponse{"session has no stream (server runs without streaming)"})
+		return
+	}
+	q := r.URL.Query()
+	offset := int64(-1)
+	if v := q.Get("offset"); v != "" {
+		o, err := strconv.ParseInt(v, 10, 64)
+		if err != nil {
+			writeJSON(w, http.StatusBadRequest, errResponse{"offset: " + err.Error()})
+			return
+		}
+		offset = o
+	} else if v := r.Header.Get("Last-Event-ID"); v != "" {
+		if o, err := strconv.ParseInt(v, 10, 64); err == nil {
+			offset = o
+		}
+	}
+	max := 256
+	if v := q.Get("max"); v != "" {
+		m, err := strconv.Atoi(v)
+		if err != nil || m < 1 {
+			writeJSON(w, http.StatusBadRequest, errResponse{"max: want a positive integer"})
+			return
+		}
+		max = m
+	}
+	if max > maxSpectateRecords {
+		max = maxSpectateRecords
+	}
+	var wait time.Duration
+	if v := q.Get("wait"); v != "" {
+		d, err := time.ParseDuration(v)
+		if err != nil {
+			writeJSON(w, http.StatusBadRequest, errResponse{"wait: " + err.Error()})
+			return
+		}
+		wait = d
+	}
+	if wait > s.opts.MaxObserveWait {
+		wait = s.opts.MaxObserveWait
+	}
+	s.m.Spectates.Inc()
+	// Same single-deadline discipline as handleObserve.
+	pollDeadline := time.Now().Add(wait)
+	tail := func(from int64) ([]wire.StreamRecord, int64, bool, error) {
+		data, err := os.ReadFile(sess.streamPath)
+		if err != nil && !os.IsNotExist(err) {
+			return nil, 0, false, err
+		}
+		// A missing file (recovered session not yet resumed under a
+		// newly stream-enabled server) tails as an empty stream.
+		return wire.TailStream(data, from, max)
+	}
+	if q.Get("sse") == "1" || r.Header.Get("Accept") == "text/event-stream" {
+		s.spectateSSE(w, r, sess, offset, pollDeadline, tail)
+		return
+	}
+	for {
+		recs, next, torn, err := tail(offset)
+		if err != nil {
+			writeJSON(w, http.StatusBadRequest, errResponse{"spectate: " + err.Error()})
+			return
+		}
+		if len(recs) > 0 || !time.Now().Before(pollDeadline) {
+			resp := SpectateResponse{ID: sess.id, NextOffset: next, Torn: torn,
+				Records: make([]SpectateRecord, len(recs))}
+			for i, rec := range recs {
+				resp.Records[i] = spectateRecordOf(rec)
+			}
+			writeJSON(w, http.StatusOK, resp)
+			return
+		}
+		sleep := observePollEvery
+		if rem := time.Until(pollDeadline); rem < sleep {
+			sleep = rem
+		}
+		select {
+		case <-r.Context().Done():
+			return
+		case <-time.After(sleep):
+		}
+	}
+}
+
+// spectateSSE is the server-sent-events spectate variant: it pushes
+// each stream record as one event until the wait deadline, the client
+// disconnecting, or the session disappearing. Event ids are stream
+// offsets, so a reconnecting EventSource resumes exactly where it left
+// off via Last-Event-ID.
+func (s *Server) spectateSSE(w http.ResponseWriter, r *http.Request, sess *session,
+	offset int64, pollDeadline time.Time, tail func(int64) ([]wire.StreamRecord, int64, bool, error)) {
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		writeJSON(w, http.StatusInternalServerError, errResponse{"response writer cannot stream"})
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+	fl.Flush()
+	for {
+		recs, next, _, err := tail(offset)
+		if err != nil {
+			fmt.Fprintf(w, "event: error\ndata: %q\n\n", err.Error())
+			fl.Flush()
+			return
+		}
+		for _, rec := range recs {
+			b, err := json.Marshal(spectateRecordOf(rec))
+			if err != nil {
+				return
+			}
+			fmt.Fprintf(w, "id: %d\ndata: %s\n\n", rec.Next, b)
+		}
+		if len(recs) > 0 {
+			fl.Flush()
+			offset = next
+		}
+		if sess.deleted.Load() || !time.Now().Before(pollDeadline) {
+			fmt.Fprintf(w, "event: end\ndata: {\"next_offset\":%d}\n\n", next)
+			fl.Flush()
+			return
+		}
+		sleep := observePollEvery
+		if rem := time.Until(pollDeadline); rem < sleep {
+			sleep = rem
+		}
+		select {
+		case <-r.Context().Done():
+			return
+		case <-time.After(sleep):
+		}
+	}
 }
 
 func (s *Server) handleInfo(w http.ResponseWriter, r *http.Request) {
@@ -521,7 +784,7 @@ func (s *Server) fail(w http.ResponseWriter, err error) {
 
 // failSubmit maps submission failures: all three are "try again later".
 func (s *Server) failSubmit(w http.ResponseWriter, err error) {
-	w.Header().Set("Retry-After", "1")
+	w.Header().Set("Retry-After", s.retryHintFor(err))
 	switch {
 	case errors.Is(err, errExpired):
 		s.m.Expired.Inc()
@@ -529,6 +792,20 @@ func (s *Server) failSubmit(w http.ResponseWriter, err error) {
 		s.m.Shed.Inc()
 	}
 	writeJSON(w, http.StatusServiceUnavailable, errResponse{err.Error()})
+}
+
+// retryHintFor derives the Retry-After hint for a shed request from
+// the configured timescale of whatever is being waited out, through
+// the same rounding as the token-bucket 429 path (retry.CeilSeconds)
+// instead of a hardcoded constant: a drain or an expired deadline
+// clears on the order of the request timeout; a full shard queue or
+// the session-capacity ceiling clears on the order of a janitor scan.
+func (s *Server) retryHintFor(err error) string {
+	d := s.opts.EvictScan
+	if errors.Is(err, errDraining) || errors.Is(err, errExpired) {
+		d = s.opts.RequestTimeout
+	}
+	return retry.CeilSeconds(d)
 }
 
 // buildSwarmOptions maps the JSON session config onto waggle options.

@@ -21,8 +21,9 @@ type metrics struct {
 	Requests, Throttled, Shed, Expired *obs.Counter
 	// Steps counts executed instants across all sessions; Sends the
 	// accepted send/broadcast ops; CheckpointBytes the bytes written
-	// to chains.
-	Steps, Sends, CheckpointBytes *obs.Counter
+	// to chains; Spectates the stream-tail polls served (long-poll
+	// and SSE).
+	Steps, Sends, CheckpointBytes, Spectates *obs.Counter
 	// RequestSeconds is the wall-clock /v1 request latency.
 	RequestSeconds *obs.Histogram
 }
@@ -50,6 +51,7 @@ func newMetrics(r *obs.Registry) metrics {
 		Steps:           r.Counter("waggle_serve_steps_total", "Simulation instants executed across all sessions."),
 		Sends:           r.Counter("waggle_serve_sends_total", "Send/broadcast operations accepted."),
 		CheckpointBytes: r.Counter("waggle_serve_checkpoint_bytes_total", "Bytes appended to session checkpoint chains."),
+		Spectates:       r.Counter("waggle_serve_spectates_total", "Stream spectate polls served (long-poll and SSE)."),
 		RequestSeconds:  r.Histogram("waggle_serve_request_seconds", "Wall-clock /v1 request latency.", requestSecondsBounds, true),
 	}
 }

@@ -85,10 +85,16 @@ type Options struct {
 	// 429 + Retry-After.
 	Rate  float64
 	Burst int
-	// MaxObserveWait caps the long-poll observe wait (default 30s).
-	// The HTTP write timeout must exceed it (cmd/waggle-serve derives
-	// its obs.ServeOptions from this).
+	// MaxObserveWait caps the long-poll observe and spectate waits
+	// (default 30s). The HTTP write timeout must exceed it
+	// (cmd/waggle-serve derives its obs.ServeOptions from this).
 	MaxObserveWait time.Duration
+	// Stream gives every session a waggle-stream/v1 movement stream
+	// (<id>.wstream next to its checkpoint chain) and enables the
+	// spectate endpoint tailing it. The stream survives eviction —
+	// resuming reopens it in append mode — so spectators can follow a
+	// session whether or not it is resident.
+	Stream bool
 }
 
 func (o Options) withDefaults() Options {
@@ -240,6 +246,9 @@ func (s *Server) recover() error {
 			shard: shardOf(id, s.opts.Shards),
 			path:  filepath.Join(s.opts.Dir, name),
 		}
+		if s.opts.Stream {
+			sess.streamPath = filepath.Join(s.opts.Dir, id+streamSuffix)
+		}
 		sess.evicted.Store(true)
 		sess.touch()
 		s.sessions[id] = sess
@@ -342,20 +351,31 @@ func (s *Server) EvictIdle(olderThan time.Duration) int {
 	n := 0
 	for _, sess := range victims {
 		sess := sess
+		evictedNow := false
 		err := s.run(context.Background(), sess.shard, func() {
-			if sess.deleted.Load() || sess.evicted.Load() || sess.lastTouch().After(cutoff) {
+			// Idleness is re-derived at execution time, not against the
+			// scan-time cutoff: a request that touched the session while
+			// this task sat in the shard queue has made it non-idle, and
+			// the stale cutoff would drift further into the past the
+			// longer the queue wait, evicting sessions that were just
+			// used.
+			if sess.deleted.Load() || sess.evicted.Load() ||
+				sess.lastTouch().After(time.Now().Add(-olderThan)) {
 				return
 			}
 			if err := sess.evict(); err != nil {
 				// The session stays live; the next scan retries.
 				return
 			}
+			evictedNow = true
 			s.active.Add(-1)
 			s.evicted.Add(1)
 			s.m.Evictions.Inc()
 			s.publishGauges()
 		})
-		if err == nil {
+		// Count sessions actually evicted, not eviction tasks that ran
+		// and then declined (touched in the meantime, already gone).
+		if err == nil && evictedNow {
 			n++
 		}
 	}
@@ -402,6 +422,11 @@ func (s *Server) Shutdown(ctx context.Context) error {
 		if err := sess.checkpoint(); err != nil && firstErr == nil {
 			firstErr = fmt.Errorf("serve: final checkpoint of %s: %w", sess.id, err)
 		}
+		if sw := sess.swarm.Stream(); sw != nil {
+			if err := sw.Close(); err != nil && firstErr == nil {
+				firstErr = fmt.Errorf("serve: close stream of %s: %w", sess.id, err)
+			}
+		}
 	}
 	return firstErr
 }
@@ -447,7 +472,10 @@ func (s *Server) publishGauges() {
 	s.m.SessionsEvicted.Set(float64(s.evicted.Load()))
 }
 
-const ckptSuffix = ".wck"
+const (
+	ckptSuffix   = ".wck"
+	streamSuffix = ".wstream"
+)
 
 // newSessionID returns 16 hex chars of crypto/rand entropy.
 func newSessionID() (string, error) {

@@ -33,6 +33,12 @@ type session struct {
 	id    string
 	shard int
 	path  string
+	// streamPath is the session's waggle-stream/v1 file ("" when the
+	// server runs without Options.Stream). The stream outlives
+	// eviction: evict closes it, resume reopens it in append mode, and
+	// the spectate endpoint tails the file without needing the session
+	// resident.
+	streamPath string
 
 	touchNanos atomic.Int64
 	evicted    atomic.Bool
@@ -67,6 +73,14 @@ func (sess *session) resume() error {
 	if err != nil {
 		return fmt.Errorf("serve: rebuild writer %s: %w", sess.id, err)
 	}
+	if sess.streamPath != "" {
+		// Reopen the movement stream in append mode: the restore replay
+		// above did not re-stream history (the file already holds it),
+		// and the reopen keyframe is the spectator's re-entry point.
+		if _, err := res.Swarm.NewStreamWriter(sess.streamPath); err != nil {
+			return fmt.Errorf("serve: reopen stream %s: %w", sess.id, err)
+		}
+	}
 	sess.swarm, sess.writer = res.Swarm, w
 	sess.robots.Store(int64(res.Swarm.N()))
 	sess.resumes.Add(1)
@@ -79,6 +93,13 @@ func (sess *session) resume() error {
 func (sess *session) evict() error {
 	if err := sess.checkpoint(); err != nil {
 		return err
+	}
+	if sw := sess.swarm.Stream(); sw != nil {
+		// Best-effort: a failed close must not wedge eviction (stream
+		// errors are sticky, so retrying the evict could never succeed)
+		// — the resume path's reopen-append truncates whatever torn
+		// tail the failure left, exactly as a crash would.
+		_ = sw.Close()
 	}
 	sess.swarm, sess.writer = nil, nil
 	sess.evicted.Store(true)
@@ -98,9 +119,19 @@ func (sess *session) checkpoint() error {
 // the shard worker (or after the pool stopped).
 func (sess *session) remove() error {
 	sess.deleted.Store(true)
+	if sess.swarm != nil {
+		if sw := sess.swarm.Stream(); sw != nil {
+			_ = sw.Close()
+		}
+	}
 	sess.swarm, sess.writer = nil, nil
 	if err := os.Remove(sess.path); err != nil && !os.IsNotExist(err) {
 		return fmt.Errorf("serve: remove %s: %w", sess.id, err)
+	}
+	if sess.streamPath != "" {
+		if err := os.Remove(sess.streamPath); err != nil && !os.IsNotExist(err) {
+			return fmt.Errorf("serve: remove stream %s: %w", sess.id, err)
+		}
 	}
 	return nil
 }

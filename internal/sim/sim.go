@@ -181,6 +181,22 @@ type World struct {
 	// every instrumentation site guards with a single nil check, so a
 	// world without an observer pays one predictable branch per site.
 	obs *obs.Observer
+
+	// stream is the optional movement-stream tap (waggle-stream/v1 via
+	// the facade). Like the trace and observer hooks it is driven only
+	// from the stepping goroutine, in application order, so the stream
+	// content is engine-independent.
+	stream StreamSink
+}
+
+// StreamSink receives the world's movement stream: every applied
+// position write (scheduler moves and teleports alike, in application
+// order) and an end-of-step mark with the activation set. Both calls
+// arrive on the stepping goroutine; the sink must copy active if it
+// retains it.
+type StreamSink interface {
+	RecordMove(t, robot int, to geom.Point)
+	EndStep(t int, active []int)
 }
 
 // Config configures a World.
@@ -354,6 +370,10 @@ func (w *World) SetObserver(o *obs.Observer) {
 // Observer returns the attached observer, or nil.
 func (w *World) Observer() *obs.Observer { return w.obs }
 
+// SetStreamSink attaches (or, with nil, detaches) the movement-stream
+// tap. Safe between steps only.
+func (w *World) SetStreamSink(s StreamSink) { w.stream = s }
+
 // Step advances the world by one instant using the scheduler's
 // activation set. It returns the set of activated robots.
 //
@@ -397,6 +417,9 @@ func (w *World) Step(s Scheduler) ([]int, error) {
 			if w.trace != nil {
 				w.trace.endStep(w.time, active, w.pos)
 			}
+			if w.stream != nil {
+				w.stream.EndStep(w.time, active)
+			}
 			w.observeStep(stepStart, 0)
 			w.time++
 			return active, nil
@@ -434,6 +457,9 @@ func (w *World) Step(s Scheduler) ([]int, error) {
 		if w.trace != nil {
 			w.trace.record(w.time, i, from, dest)
 		}
+		if w.stream != nil {
+			w.stream.RecordMove(w.time, i, dest)
+		}
 		if o := w.obs; o != nil {
 			// Recorded here, on the stepping goroutine in activation
 			// order, so the trace content is engine-independent.
@@ -445,6 +471,9 @@ func (w *World) Step(s Scheduler) ([]int, error) {
 	}
 	if w.trace != nil {
 		w.trace.endStep(w.time, active, w.pos)
+	}
+	if w.stream != nil {
+		w.stream.EndStep(w.time, active)
 	}
 	w.observeStep(stepStart, len(active))
 	w.time++
@@ -492,6 +521,9 @@ func (w *World) Teleport(i int, to geom.Point) error {
 	w.robots[i].Frame = w.robots[i].Frame.WithOrigin(to)
 	if w.trace != nil {
 		w.trace.record(w.time, i, from, to)
+	}
+	if w.stream != nil {
+		w.stream.RecordMove(w.time, i, to)
 	}
 	return nil
 }

@@ -343,13 +343,8 @@ func decodePositions(r *reader) []ckpt.XY {
 // fixedExact reports whether every coordinate is exactly representable
 // at the fixed-point resolution (and within the int64 headroom).
 func fixedExact(pts []ckpt.XY) bool {
-	const limit = 1 << 62
-	ok := func(c float64) bool {
-		s := c * (1 << fixedShift)
-		return s == math.Trunc(s) && math.Abs(s) < limit
-	}
 	for _, p := range pts {
-		if !ok(p.X) || !ok(p.Y) {
+		if !fixedOK(p.X) || !fixedOK(p.Y) {
 			return false
 		}
 	}

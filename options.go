@@ -72,6 +72,7 @@ type options struct {
 	observer         *Observer
 	restore          *Checkpoint
 	ckptCodec        CheckpointCodec
+	streamPath       string
 }
 
 func defaultOptions() options {
@@ -207,6 +208,16 @@ func WithRestore(ck *Checkpoint) Option {
 // a swarm restored from any format may save in any other.
 func WithCheckpointCodec(c CheckpointCodec) Option {
 	return optionFunc(func(o *options) { o.ckptCodec = c })
+}
+
+// WithStream attaches a waggle-stream/v1 movement stream writing to
+// path (see Swarm.NewStreamWriter) as soon as the swarm is built —
+// for a restored swarm, after the replay completes, so restoring never
+// re-streams history the file already holds. Like the checkpoint
+// codec, streaming is a preference about how state is written, not
+// part of the run's identity: it is not recorded in the input log.
+func WithStream(path string) Option {
+	return optionFunc(func(o *options) { o.streamPath = path })
 }
 
 // WithStarver selects the adversarial scheduler delaying the given robot

@@ -105,6 +105,9 @@ type Swarm struct {
 	// any; Checkpoint captures their state alongside the swarm's.
 	radio     *Radio
 	messenger *BackupMessenger
+	// stream is the attached movement-stream writer, if any. Not part
+	// of the checkpointed identity (see StreamWriter).
+	stream *StreamWriter
 }
 
 // ErrTooFewRobots is returned for swarms of fewer than two robots.
@@ -134,10 +137,24 @@ func NewSwarm(positions []Point, opts ...Option) (*Swarm, error) {
 	for _, opt := range opts {
 		opt.apply(&o)
 	}
+	var s *Swarm
+	var err error
 	if o.restore != nil {
-		return newSwarmRestored(positions, o)
+		s, err = newSwarmRestored(positions, o)
+	} else {
+		s, err = newSwarm(positions, o)
 	}
-	return newSwarm(positions, o)
+	if err != nil {
+		return nil, err
+	}
+	if o.streamPath != "" {
+		// Attached only after construction (and any restore replay)
+		// completes, so replayed history is never re-streamed.
+		if _, err := s.NewStreamWriter(o.streamPath); err != nil {
+			return nil, err
+		}
+	}
+	return s, nil
 }
 
 // newSwarm builds a swarm from resolved options — the shared path of
